@@ -1,0 +1,86 @@
+// Experiment E7a (Section IV-A): box-size effects on GPU throughput.
+//
+// "GPUs achieve optimal performance by hiding the latency of individual
+// operations with massive parallelism, so small workloads are
+// inefficient: this discourages very small boxes ... GPUs have much
+// smaller memory capacities than CPUs: this discourages very large
+// boxes." Plus the Unified-Memory oversubscription cliff, and the CUDA
+// streams mitigation.
+//
+// Output: modeled single-V100 Sedov throughput over box widths 8..128 at
+// a fixed per-GPU domain, with 1 vs 4 streams, and the oversubscription
+// cliff as the per-GPU domain outgrows 16 GB.
+
+#include "bench_util.hpp"
+#include "castro/sedov.hpp"
+#include "castro/state.hpp"
+
+#include <cstdio>
+
+using namespace exa;
+using namespace exa::castro;
+
+int main() {
+    benchutil::printHeader("Section IV-A ablation: box size, streams, memory");
+
+    // Measured Sedov kernel mix (as in the Fig. 2 bench).
+    auto net = makeIgnitionSimple();
+    SedovParams sp;
+    sp.ncell = 32;
+    sp.max_grid_size = 16;
+    auto c = makeSedov(sp, net);
+    ScopedBackend sb(Backend::SimGpu);
+    DeviceModel dev;
+    dev.attach();
+    for (int s = 0; s < 4; ++s) c->step(c->estimateDt());
+    dev.detach();
+    auto mix = benchutil::kernelMix(dev, static_cast<int>(c->state().size()), 4,
+                                    16LL * 16 * 16);
+    StepModel step;
+    step.kernels = mix;
+
+    std::printf("\nSingle-V100 throughput vs box width (128^3 zones per GPU):\n");
+    std::printf("  %8s %16s %16s\n", "box", "1 stream", "4 streams");
+    MachineParams one = MachineParams::summit();
+    one.streams_per_rank = 1;
+    MachineParams four = MachineParams::summit();
+    four.streams_per_rank = 4;
+    WeakScalingModel m1(one), m4(four);
+    double best = 0.0, best4 = 0.0;
+    for (int w : {8, 16, 32, 64, 128}) {
+        const double t1 = m1.singleGpuZonesPerUsec(128, w, step);
+        const double t4 = m4.singleGpuZonesPerUsec(128, w, step);
+        best = std::max(best, t1);
+        best4 = std::max(best4, t4);
+        std::printf("  %8d %16.2f %16.2f\n", w, t1, t4);
+    }
+    std::printf("\n  small-box penalty (best/8^3, 1 stream): %.1fx\n",
+                best / m1.singleGpuZonesPerUsec(128, 8, step));
+    std::printf("  streams mitigation at 16^3 boxes: %.2fx\n",
+                m4.singleGpuZonesPerUsec(128, 16, step) /
+                    m1.singleGpuZonesPerUsec(128, 16, step));
+
+    // Oversubscription: state bytes per GPU vs the 16 GB capacity.
+    std::printf("\nUnified-memory oversubscription (domain per GPU grows):\n");
+    std::printf("  %10s %14s %16s %14s\n", "zones/gpu", "state [GB]", "zones/usec",
+                "oversub?");
+    const int ncomp_state = StateLayout(net.nspec()).ncomp();
+    for (int n : {128, 256, 384, 448, 512}) {
+        const double zones = static_cast<double>(n) * n * n;
+        // State + ghosts + scratch: ~4x the bare state, as in Castro runs.
+        const double bytes = zones * ncomp_state * 8.0 * 4.0;
+        DeviceModel d(MachineParams::summit().gpu);
+        d.setResidentBytes(bytes);
+        double t = 0.0;
+        for (const auto& k : step.kernels) {
+            t += k.launches_per_box_per_step *
+                 d.bodyTime(k.info, static_cast<std::int64_t>(zones * k.zones_fraction));
+        }
+        std::printf("  %7d^3 %14.2f %16.2f %14s\n", n, bytes / 1.0e9,
+                    zones / (t * 1.0e6), d.oversubscribed() ? "yes" : "no");
+    }
+    std::printf("\n  Paper: \"the range of box sizes that can meaningfully fit\n"
+                "  inside a GPU is limited\"; ~100^3 saturates compute and a\n"
+                "  2x finer box already exceeds memory.\n");
+    return 0;
+}

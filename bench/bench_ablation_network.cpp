@@ -1,0 +1,152 @@
+// Experiment E7b (Sections IV-B and VI): reaction-network size effects.
+//
+//  * integration cost grows ~N^2 with the isotope count (linear-solve
+//    dominated) — measured with the real BDF integrator;
+//  * the (N+1)^2 Jacobian blows the 255-register Volta budget for 13
+//    isotopes (modeled occupancy + spilling);
+//  * the fixed-pattern sparse solve (the paper's future work, implemented
+//    here) beats dense LU on the aprox13 pattern — measured wall time and
+//    operation counts;
+//  * explicit RK is hopeless on a stiff burn — measured step counts.
+
+#include <benchmark/benchmark.h>
+
+#include "microphysics/burner.hpp"
+#include "perf/device_model.hpp"
+
+using namespace exa;
+
+namespace {
+
+const ReactionNetwork& netOf(int nspec) {
+    static auto n2 = makeIgnitionSimple();
+    static auto n3 = makeTripleAlpha();
+    static auto n13 = makeAprox13();
+    return nspec == 2 ? n2 : (nspec == 3 ? n3 : n13);
+}
+
+std::vector<Real> fuelFor(const ReactionNetwork& net) {
+    std::vector<Real> X(net.nspec(), 0.0);
+    if (net.nspec() == 2) {
+        X[0] = 1.0;
+    } else if (net.nspec() == 3) {
+        X[0] = 1.0;
+    } else {
+        X[0] = 0.1;
+        X[1] = 0.45;
+        X[2] = 0.45;
+    }
+    return X;
+}
+
+void BM_BurnZone(benchmark::State& state) {
+    const auto& net = netOf(static_cast<int>(state.range(0)));
+    Eos eos{HelmLiteEos{}};
+    auto X = fuelFor(net);
+    // Vigorous but pre-runaway conditions for each network, over a
+    // reaction-scale dt, so cost reflects the per-step linear algebra
+    // (growing ~N^2-N^3 with the isotope count) rather than transient
+    // resolution.
+    const Real rho = net.nspec() == 3 ? 1.0e6 : (net.nspec() == 2 ? 2.0e9 : 1.0e7);
+    const Real T = net.nspec() == 3 ? 3.0e8 : (net.nspec() == 2 ? 9.0e8 : 3.0e9);
+    const Real dt = net.nspec() == 13 ? 1.0e-9 : 1.0e-6;
+    OdeOptions opt;
+    opt.use_sparse = state.range(1) != 0;
+    std::int64_t steps = 0, lus = 0;
+    for (auto _ : state) {
+        auto r = burnZone(net, eos, rho, T, X.data(), dt, opt);
+        benchmark::DoNotOptimize(r.T);
+        steps += r.stats.steps;
+        lus += r.stats.lu_factors;
+    }
+    state.counters["bdf_steps"] = static_cast<double>(steps) / state.iterations();
+    state.counters["lu_factors"] = static_cast<double>(lus) / state.iterations();
+    // Modeled GPU occupancy for this network's burn kernel.
+    GpuParams gpu;
+    auto ki = burnKernelInfo(net.nspec(), 30.0, 1.0);
+    state.counters["regs"] = ki.regs_per_thread;
+    state.counters["occupancy"] = gpu.occupancy(ki.regs_per_thread);
+    state.counters["spills"] =
+        std::max(0, ki.regs_per_thread - gpu.max_regs_per_thread);
+}
+// args: {nspec, use_sparse}
+BENCHMARK(BM_BurnZone)->Args({2, 0})->Args({3, 0})->Args({13, 0})->Args({13, 1});
+
+void BM_SparseVsDenseLU(benchmark::State& state) {
+    const bool sparse = state.range(0) != 0;
+    auto net = makeAprox13();
+    const int n = net.nspec() + 1;
+    std::vector<Real> X = fuelFor(net), Y(net.nspec());
+    net.xToY(X.data(), Y.data());
+    DenseMatrix J(n);
+    net.jacobian(2.0e7, 3.0e9, Y.data(), 1.0e7, J);
+    DenseMatrix M = J;
+    M.scaleAndAddIdentity(1.0, -1.0e-8);
+
+    SparseLU slu;
+    slu.analyze(n, net.sparsity());
+    DenseLU dlu;
+    std::vector<Real> b(n, 1.0);
+    for (auto _ : state) {
+        if (sparse) {
+            slu.factor(M);
+            auto x = b;
+            slu.solve(x);
+            benchmark::DoNotOptimize(x.data());
+        } else {
+            dlu.factor(M);
+            auto x = b;
+            dlu.solve(x);
+            benchmark::DoNotOptimize(x.data());
+        }
+    }
+    if (sparse) {
+        state.counters["empty_frac"] = slu.emptyFraction();
+        state.counters["factor_ops"] = static_cast<double>(slu.factorOps());
+    } else {
+        state.counters["factor_ops"] = n * n * n / 3.0;
+    }
+}
+BENCHMARK(BM_SparseVsDenseLU)->Arg(0)->Arg(1);
+
+// A hydro-scale burn step (dt = 1 ms) through a thermonuclear runaway:
+// the implicit integrator completes it; the explicit one is forced to the
+// fastest timescale and underflows its step size ("otherwise the whole
+// system would be forced to march along at the smallest timescale").
+void BM_ImplicitVsExplicit(benchmark::State& state) {
+    const bool implicit = state.range(0) != 0;
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    const Real rho = 2.0e9, T = 1.5e9, dt = 1.0e-3;
+    std::int64_t steps = 0;
+    std::int64_t successes = 0;
+    for (auto _ : state) {
+        std::vector<Real> y(3);
+        net.xToY(X.data(), y.data());
+        y[2] = T;
+        BurnOde ode(net, eos, rho);
+        OdeOptions opt;
+        opt.rtol = 1.0e-6;
+        opt.max_steps = 500'000;
+        OdeStats st;
+        if (implicit) {
+            BdfIntegrator bdf;
+            st = bdf.integrate(ode, y, 0.0, dt, opt);
+        } else {
+            RkIntegrator rk;
+            st = rk.integrate(ode, y, 0.0, dt, opt);
+        }
+        benchmark::DoNotOptimize(y.data());
+        steps += st.steps;
+        successes += st.success ? 1 : 0;
+    }
+    state.counters["ode_steps"] = static_cast<double>(steps) / state.iterations();
+    state.counters["completed"] =
+        static_cast<double>(successes) / state.iterations();
+}
+BENCHMARK(BM_ImplicitVsExplicit)->Arg(1)->Arg(0);
+
+} // namespace
+
+BENCHMARK_MAIN();

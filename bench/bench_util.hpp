@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches: run a real solver
+// at laptop scale under the simulated-GPU backend, extract the measured
+// kernel mix, and feed it to the Summit scaling model. This is the
+// measured-compute / modeled-network split described in DESIGN.md.
+
+#include "core/executor.hpp"
+#include "perf/device_model.hpp"
+#include "perf/scaling.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace exa::benchutil {
+
+// Convert the per-kernel launch statistics of a real instrumented run
+// into the per-box-per-step launch specs the scaling model consumes.
+inline std::vector<KernelLaunchSpec> kernelMix(const DeviceModel& dev, int nboxes,
+                                               int nsteps,
+                                               std::int64_t zones_per_box) {
+    std::vector<KernelLaunchSpec> mix;
+    for (const auto& [name, ks] : dev.kernelStats()) {
+        KernelLaunchSpec spec;
+        spec.info = ks.info;
+        spec.launches_per_box_per_step =
+            static_cast<double>(ks.launches) / (static_cast<double>(nboxes) * nsteps);
+        spec.zones_fraction = static_cast<double>(ks.zones) /
+                              (static_cast<double>(ks.launches) * zones_per_box);
+        mix.push_back(spec);
+    }
+    return mix;
+}
+
+inline void printHeader(const char* title) {
+    std::printf("\n==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("==============================================================\n");
+}
+
+inline void printRow(const char* label, double measured, double paper,
+                     const char* unit) {
+    std::printf("  %-42s %12.4g %12.4g  %s\n", label, measured, paper, unit);
+}
+
+} // namespace exa::benchutil

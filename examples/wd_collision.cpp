@@ -1,0 +1,87 @@
+// The Section V science problem: two white dwarfs collide head-on; the
+// contact point heats until carbon ignites. A scaled-down version of the
+// paper's Figure 4 run with the 13-isotope network.
+//
+// Run:  ./wd_collision [ncell]
+//
+// Prints the approach, contact, and heating history; writes an x-axis
+// line-out of density and temperature at the end (wd_lineout.csv).
+
+#include "castro/wd_collision.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace exa;
+using namespace exa::castro;
+
+int main(int argc, char** argv) {
+    const int ncell = argc > 1 ? std::atoi(argv[1]) : 24;
+
+    auto net = makeAprox13();
+    WdCollisionParams p;
+    p.ncell = ncell;
+    p.max_grid_size = std::max(8, ncell / 2);
+    p.rho_c = 5.0e6;
+    p.domain_width = 8.0e9;
+    p.separation_in_diameters = 1.3;
+    p.approach_velocity = 4.0e8;
+    auto wd = makeWdCollision(p, net);
+
+    std::printf("WD collision: R = %.3g cm (%.0f km), M = %.2f Msun each, "
+                "%d^3 zones (dx = %.0f km)\n",
+                wd.profile.radius, wd.profile.radius / 1.0e5,
+                wd.profile.mass / constants::M_sun, ncell,
+                p.domain_width / ncell / 1.0e5);
+    std::printf("%6s %10s %14s %14s %16s\n", "step", "t [s]", "maxT [K]",
+                "max rho", "t_burn/t_cross");
+
+    int next_report = 0;
+    while (wd.castro->time() < 10.0 && wd.castro->stepCount() < 400) {
+        if (wd.castro->maxTemperature() >= p.ignition_T) break;
+        wd.castro->step(wd.castro->estimateDt());
+        if (wd.castro->stepCount() >= next_report) {
+            std::printf("%6d %10.3f %14.4e %14.4e %16.3g\n",
+                        wd.castro->stepCount(), wd.castro->time(),
+                        wd.castro->maxTemperature(), wd.castro->maxDensity(),
+                        wd.castro->minBurnTimescaleRatio(1.0e9));
+            next_report += 20;
+        }
+    }
+
+    if (wd.castro->maxTemperature() >= p.ignition_T) {
+        std::printf("\n*** thermonuclear ignition at t = %.3f s (T >= %.1e K) "
+                    "***\n",
+                    wd.castro->time(), p.ignition_T);
+        auto hz = wd.castro->hottestZone();
+        std::printf("ignition site: (%.3g, %.3g, %.3g) cm — the contact plane\n",
+                    hz[0], hz[1], hz[2]);
+        std::printf("burning/sound-crossing timescale ratio: %.3g "
+                    "(< 1: the detonation is not numerically converged — the "
+                    "paper's caveat)\n",
+                    wd.castro->minBurnTimescaleRatio(1.0e9));
+    } else {
+        std::printf("\nno ignition before t = %.2f s at this resolution\n",
+                    wd.castro->time());
+    }
+
+    // x-axis line-out through the collision axis.
+    std::FILE* f = std::fopen("wd_lineout.csv", "w");
+    std::fprintf(f, "x,rho,T\n");
+    const auto& s = wd.castro->state();
+    const Geometry& g = wd.castro->geom();
+    const int jc = ncell / 2, kc = ncell / 2;
+    for (int i = 0; i < ncell; ++i) {
+        for (std::size_t b = 0; b < s.size(); ++b) {
+            const Box& vb = s.box(static_cast<int>(b));
+            if (!vb.contains(i, jc, kc)) continue;
+            auto u = s.const_array(static_cast<int>(b));
+            std::fprintf(f, "%.6e,%.6e,%.6e\n", g.cellCenter(0, i),
+                         u(i, jc, kc, StateLayout::URHO),
+                         u(i, jc, kc, StateLayout::UTEMP));
+        }
+    }
+    std::fclose(f);
+    std::printf("wrote wd_lineout.csv\n");
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "castro/castro.hpp"
+
+#include "core/parallel_for.hpp"
+#include "core/timer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace exa::castro {
+
+Castro::Castro(const Geometry& geom, const BoxArray& ba,
+               const DistributionMapping& dm, const ReactionNetwork& net,
+               const Eos& eos, const CastroOptions& opt)
+    : m_geom(geom),
+      m_net(net),
+      m_eos(eos),
+      m_opt(opt),
+      m_layout(net.nspec()),
+      m_state(ba, dm, m_layout.ncomp(), opt.ngrow),
+      m_gravity(opt.gravity, geom, net.nspec()) {
+    m_state.setVal(0.0);
+}
+
+void Castro::initialize(const InitFn& f) {
+    const int nspec = m_net.nspec();
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto u = m_state.array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k) {
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j) {
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    InitialZone z = f(m_geom.cellCenter(0, i), m_geom.cellCenter(1, j),
+                                      m_geom.cellCenter(2, k));
+                    assert(static_cast<int>(z.X.size()) == nspec);
+                    EosState s;
+                    s.rho = z.rho;
+                    s.abar = m_net.abar(z.X.data());
+                    s.ye = m_net.ye(z.X.data());
+                    if (z.p >= 0.0) {
+                        s.p = z.p;
+                        m_eos.rhoP(s);
+                    } else {
+                        s.T = z.T;
+                        m_eos.rhoT(s);
+                    }
+                    const Real ke = 0.5 * (z.vel[0] * z.vel[0] + z.vel[1] * z.vel[1] +
+                                           z.vel[2] * z.vel[2]);
+                    u(i, j, k, StateLayout::URHO) = z.rho;
+                    u(i, j, k, StateLayout::UMX) = z.rho * z.vel[0];
+                    u(i, j, k, StateLayout::UMX + 1) = z.rho * z.vel[1];
+                    u(i, j, k, StateLayout::UMX + 2) = z.rho * z.vel[2];
+                    u(i, j, k, StateLayout::UEDEN) = z.rho * (s.e + ke);
+                    u(i, j, k, StateLayout::UTEMP) = s.T;
+                    for (int n = 0; n < nspec; ++n) {
+                        u(i, j, k, StateLayout::UFS + n) = z.rho * z.X[n];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void Castro::fillGhosts(MultiFab& s) {
+    s.FillBoundary(m_geom.periodicity());
+    // Momentum components reflect oddly in their own direction.
+    std::array<std::vector<int>, 3> odd;
+    odd[0] = {StateLayout::UMX};
+    odd[1] = {StateLayout::UMY};
+    odd[2] = {StateLayout::UMZ};
+    fillPhysicalBoundary(s, m_geom, m_opt.bc, odd);
+}
+
+Real Castro::estimateDt() const {
+    return castro::estimateDt(m_state, m_geom, m_net, m_eos, m_opt.cfl);
+}
+
+void Castro::hydroAdvance(Real dt) {
+    TimerRegion timer("castro::hydro");
+    const int nc = m_layout.ncomp();
+    MultiFab dudt(m_state.boxArray(), m_state.distributionMap(), nc, 0);
+    MultiFab u1(m_state.boxArray(), m_state.distributionMap(), nc, m_opt.ngrow);
+
+    // Stage 1: U1 = U^n + dt L(U^n).
+    fillGhosts(m_state);
+    molRhs(m_state, dudt, m_geom, m_net, m_eos, nullptr, m_opt.reconstruction);
+    MultiFab::Copy(u1, m_state, 0, 0, nc, 0);
+    u1.saxpy(dt, dudt, 0, 0, nc);
+    enforceConsistency(u1, m_net, m_eos, m_opt.small_dens);
+
+    // Stage 2: U^{n+1} = 1/2 U^n + 1/2 (U1 + dt L(U1)).
+    fillGhosts(u1);
+    molRhs(u1, dudt, m_geom, m_net, m_eos, nullptr, m_opt.reconstruction);
+    u1.saxpy(dt, dudt, 0, 0, nc);
+    MultiFab::LinComb(m_state, 0.5, m_state, 0.5, u1, 0, nc);
+    enforceConsistency(m_state, m_net, m_eos, m_opt.small_dens);
+}
+
+BurnGridStats Castro::step(Real dt) {
+    BurnGridStats burn;
+
+    if (m_opt.do_react) {
+        TimerRegion timer("castro::react");
+        burn = reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react);
+    }
+
+    if (m_opt.gravity != GravityType::None) {
+        TimerRegion timer("castro::gravity");
+        m_gravity.solve(m_state);
+    }
+    hydroAdvance(dt);
+    if (m_opt.gravity != GravityType::None) {
+        TimerRegion timer("castro::gravity");
+        // Operator-split source with the field from the start of the step.
+        m_gravity.addSource(m_state, dt);
+        enforceConsistency(m_state, m_net, m_eos, m_opt.small_dens);
+    }
+
+    if (m_opt.do_react) {
+        TimerRegion timer("castro::react");
+        auto b2 = reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react);
+        burn.zones += b2.zones;
+        burn.total_steps += b2.total_steps;
+        burn.max_steps = std::max(burn.max_steps, b2.max_steps);
+        burn.failures += b2.failures;
+    }
+
+    m_time += dt;
+    ++m_nstep;
+    return burn;
+}
+
+Real Castro::totalMass() const {
+    return m_state.sum(StateLayout::URHO) * m_geom.cellVolume();
+}
+
+std::array<Real, 3> Castro::totalMomentum() const {
+    return {m_state.sum(StateLayout::UMX) * m_geom.cellVolume(),
+            m_state.sum(StateLayout::UMY) * m_geom.cellVolume(),
+            m_state.sum(StateLayout::UMZ) * m_geom.cellVolume()};
+}
+
+Real Castro::totalEnergy() const {
+    return m_state.sum(StateLayout::UEDEN) * m_geom.cellVolume();
+}
+
+Real Castro::maxTemperature() const { return m_state.max(StateLayout::UTEMP); }
+
+Real Castro::maxDensity() const { return m_state.max(StateLayout::URHO); }
+
+std::array<Real, 3> Castro::hottestZone() const {
+    Real best = -1.0;
+    std::array<Real, 3> pos{0, 0, 0};
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto u = m_state.const_array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    if (u(i, j, k, StateLayout::UTEMP) > best) {
+                        best = u(i, j, k, StateLayout::UTEMP);
+                        pos = {m_geom.cellCenter(0, i), m_geom.cellCenter(1, j),
+                               m_geom.cellCenter(2, k)};
+                    }
+                }
+    }
+    return pos;
+}
+
+Real Castro::minBurnTimescaleRatio(Real T_threshold) const {
+    const int nspec = m_net.nspec();
+    Real ratio = 1.0e99;
+    const Real dx = m_geom.cellSize(0);
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto u = m_state.const_array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    const Real T = u(i, j, k, StateLayout::UTEMP);
+                    if (T < T_threshold) continue;
+                    const Real rho = u(i, j, k, StateLayout::URHO);
+                    Real X[32];
+                    for (int n = 0; n < nspec; ++n) {
+                        X[n] = std::clamp(u(i, j, k, StateLayout::UFS + n) / rho,
+                                          Real(0), Real(1));
+                    }
+                    const Real t_burn = burningTimescale(m_net, m_eos, rho, T, X);
+                    EosState s;
+                    s.rho = rho;
+                    s.T = T;
+                    s.abar = m_net.abar(X);
+                    s.ye = m_net.ye(X);
+                    m_eos.rhoT(s);
+                    const Real t_cross = dx / std::max(s.cs, Real(1.0));
+                    ratio = std::min(ratio, t_burn / t_cross);
+                }
+    }
+    return ratio;
+}
+
+} // namespace exa::castro

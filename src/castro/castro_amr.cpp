@@ -1,0 +1,220 @@
+#include "castro/castro_amr.hpp"
+
+#include "core/parallel_for.hpp"
+
+#include <cassert>
+
+namespace exa::castro {
+
+CastroAmr::CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
+                     const ReactionNetwork& net, const Eos& eos,
+                     const CastroOptions& opt, Castro::InitFn init, TagFn tag)
+    : AmrCore(level0_geom, info),
+      m_net(net),
+      m_eos(eos),
+      m_opt(opt),
+      m_layout(net.nspec()),
+      m_init(std::move(init)),
+      m_tag(std::move(tag)) {
+    m_state.resize(info.max_level + 1);
+}
+
+void CastroAmr::init() {
+    initBaseLevel();
+    // Regrid until the hierarchy stabilizes (new levels may tag further).
+    for (int pass = 0; pass <= maxLevel(); ++pass) {
+        const int before = finestLevel();
+        regrid(0);
+        if (finestLevel() == before) break;
+    }
+}
+
+void CastroAmr::initLevelData(int lev, MultiFab& mf) {
+    const Geometry& g = geom(lev);
+    const int nspec = m_net.nspec();
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto u = mf.array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    auto z = m_init(g.cellCenter(0, i), g.cellCenter(1, j),
+                                    g.cellCenter(2, k));
+                    EosState s;
+                    s.rho = z.rho;
+                    s.abar = m_net.abar(z.X.data());
+                    s.ye = m_net.ye(z.X.data());
+                    if (z.p >= 0.0) {
+                        s.p = z.p;
+                        m_eos.rhoP(s);
+                    } else {
+                        s.T = z.T;
+                        m_eos.rhoT(s);
+                    }
+                    const Real ke = 0.5 * (z.vel[0] * z.vel[0] + z.vel[1] * z.vel[1] +
+                                           z.vel[2] * z.vel[2]);
+                    u(i, j, k, StateLayout::URHO) = z.rho;
+                    u(i, j, k, StateLayout::UMX) = z.rho * z.vel[0];
+                    u(i, j, k, StateLayout::UMY) = z.rho * z.vel[1];
+                    u(i, j, k, StateLayout::UMZ) = z.rho * z.vel[2];
+                    u(i, j, k, StateLayout::UEDEN) = z.rho * (s.e + ke);
+                    u(i, j, k, StateLayout::UTEMP) = s.T;
+                    for (int n = 0; n < nspec; ++n) {
+                        u(i, j, k, StateLayout::UFS + n) = z.rho * z.X[n];
+                    }
+                }
+    }
+}
+
+void CastroAmr::applyPhysBC(int lev, MultiFab& mf) {
+    std::array<std::vector<int>, 3> odd;
+    odd[0] = {StateLayout::UMX};
+    odd[1] = {StateLayout::UMY};
+    odd[2] = {StateLayout::UMZ};
+    fillPhysicalBoundary(mf, geom(lev), m_opt.bc, odd);
+}
+
+void CastroAmr::fillPatchFrom(int lev, const MultiFab& fine_src, MultiFab& dst) {
+    assert(&fine_src != &dst); // interpolation would clobber the source
+    if (lev == 0) {
+        dst.ParallelCopy(fine_src, 0, 0, m_layout.ncomp(), 0,
+                         geom(0).periodicity());
+        dst.FillBoundary(geom(0).periodicity());
+    } else {
+        fillPatchTwoLevels(dst, dst.nGrow(), fine_src, m_state[lev - 1],
+                           geom(lev - 1), geom(lev), refRatio(), 0,
+                           m_layout.ncomp());
+    }
+    applyPhysBC(lev, dst);
+}
+
+void CastroAmr::fillPatch(int lev, MultiFab& dst) {
+    fillPatchFrom(lev, m_state[lev], dst);
+}
+
+void CastroAmr::MakeNewLevelFromScratch(int lev, const BoxArray& ba,
+                                        const DistributionMapping& dm) {
+    m_state[lev].define(ba, dm, m_layout.ncomp(), m_opt.ngrow);
+    m_state[lev].setVal(0.0);
+    initLevelData(lev, m_state[lev]);
+}
+
+void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
+                                       const DistributionMapping& dm) {
+    m_state[lev].define(ba, dm, m_layout.ncomp(), m_opt.ngrow);
+    m_state[lev].setVal(0.0);
+    // Interpolate everything from the coarse level. Passing the (freshly
+    // interpolated) level itself as the fine source makes the same-level
+    // overwrite pass a no-op self-copy.
+    fillPatchTwoLevels(m_state[lev], 0, m_state[lev], m_state[lev - 1],
+                       geom(lev - 1), geom(lev), refRatio(), 0, m_layout.ncomp());
+    enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+}
+
+void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
+                            const DistributionMapping& dm) {
+    MultiFab newstate(ba, dm, m_layout.ncomp(), m_opt.ngrow);
+    newstate.setVal(0.0);
+    // Old same-level data where available, coarse interpolation elsewhere.
+    fillPatchTwoLevels(newstate, 0, m_state[lev], m_state[lev - 1], geom(lev - 1),
+                       geom(lev), refRatio(), 0, m_layout.ncomp());
+    m_state[lev] = std::move(newstate);
+    enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+}
+
+void CastroAmr::ClearLevel(int lev) { m_state[lev].clear(); }
+
+void CastroAmr::ErrorEst(int lev, MultiFab& tags) {
+    m_tag(lev, geom(lev), m_state[lev], tags);
+}
+
+Real CastroAmr::estimateDt() const {
+    Real dt = 1.0e300;
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        dt = std::min(dt, castro::estimateDt(m_state[lev], geom(lev), m_net, m_eos,
+                                             m_opt.cfl));
+    }
+    return dt;
+}
+
+void CastroAmr::advanceLevel(int lev, Real dt) {
+    const int nc = m_layout.ncomp();
+    MultiFab& s = m_state[lev];
+    MultiFab dudt(s.boxArray(), s.distributionMap(), nc, 0);
+    MultiFab u1(s.boxArray(), s.distributionMap(), nc, 0);
+    // Ghost-bearing working copy (AMReX's "Sborder" pattern): the state
+    // itself never receives interpolated data over its valid zones.
+    MultiFab sborder(s.boxArray(), s.distributionMap(), nc, s.nGrow());
+
+    fillPatchFrom(lev, s, sborder);
+    molRhs(sborder, dudt, geom(lev), m_net, m_eos);
+    MultiFab::Copy(u1, s, 0, 0, nc, 0);
+    u1.saxpy(dt, dudt, 0, 0, nc);
+    enforceConsistency(u1, m_net, m_eos, m_opt.small_dens);
+
+    // Second RK stage: ghosts of u1 from {u1, coarse OLD state} — the
+    // first-order-in-time coarse/fine coupling of non-subcycled stepping.
+    fillPatchFrom(lev, u1, sborder);
+    molRhs(sborder, dudt, geom(lev), m_net, m_eos);
+    u1.saxpy(dt, dudt, 0, 0, nc);
+    MultiFab::LinComb(s, 0.5, s, 0.5, u1, 0, nc);
+    enforceConsistency(s, m_net, m_eos, m_opt.small_dens);
+}
+
+BurnGridStats CastroAmr::step(Real dt) {
+    BurnGridStats burn;
+    auto accumulate = [&](const BurnGridStats& b) {
+        burn.zones += b.zones;
+        burn.total_steps += b.total_steps;
+        burn.max_steps = std::max(burn.max_steps, b.max_steps);
+        burn.failures += b.failures;
+    };
+
+    // Strang half-burn on every level (finest last so averaging wins).
+    if (m_opt.do_react) {
+        for (int lev = 0; lev <= finestLevel(); ++lev) {
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react));
+        }
+    }
+    // Hydro, coarse to fine, then synchronize by averaging down.
+    for (int lev = 0; lev <= finestLevel(); ++lev) advanceLevel(lev, dt);
+    for (int lev = finestLevel(); lev > 0; --lev) {
+        averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
+                    m_layout.ncomp());
+        enforceConsistency(m_state[lev - 1], m_net, m_eos, m_opt.small_dens);
+    }
+    if (m_opt.do_react) {
+        for (int lev = 0; lev <= finestLevel(); ++lev) {
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react));
+        }
+        for (int lev = finestLevel(); lev > 0; --lev) {
+            averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
+                        m_layout.ncomp());
+        }
+    }
+
+    m_time += dt;
+    ++m_nstep;
+    if (regrid_interval > 0 && m_nstep % regrid_interval == 0 && maxLevel() > 0) {
+        regrid(0);
+    }
+    return burn;
+}
+
+Real CastroAmr::totalMass() const {
+    return m_state[0].sum(StateLayout::URHO) * geom(0).cellVolume();
+}
+
+Real CastroAmr::totalEnergy() const {
+    return m_state[0].sum(StateLayout::UEDEN) * geom(0).cellVolume();
+}
+
+Real CastroAmr::maxTemperature() const {
+    Real t = 0.0;
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        t = std::max(t, m_state[lev].max(StateLayout::UTEMP));
+    }
+    return t;
+}
+
+} // namespace exa::castro

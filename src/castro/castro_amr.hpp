@@ -1,0 +1,86 @@
+#pragma once
+
+#include "castro/castro.hpp"
+#include "mesh/amr_core.hpp"
+#include "mesh/interp.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace exa::castro {
+
+// Multi-level Castro: the AMR configuration of the paper's Section V
+// science run ("the stars themselves are refined by a factor of 4 at all
+// points in the run ... when any material heats up to 1e9 K, we refine it
+// by an additional factor of 4").
+//
+// Levels advance non-subcycled (one dt, set by the finest level, for the
+// whole hierarchy — Castro's no-subcycling mode): each level's ghosts are
+// filled from its own data plus conservative interpolation from the
+// coarser level, all levels take the same step, and fine data is averaged
+// down so coarse zones under fine grids agree exactly.
+class CastroAmr : public AmrCore {
+public:
+    // tag(level, geometry, state, tags): set tags != 0 to refine.
+    using TagFn =
+        std::function<void(int lev, const Geometry&, const MultiFab&, MultiFab&)>;
+
+    CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
+              const ReactionNetwork& net, const Eos& eos, const CastroOptions& opt,
+              Castro::InitFn init, TagFn tag);
+
+    // Build level 0, then regrid until the hierarchy is stable.
+    void init();
+
+    MultiFab& state(int lev) { return m_state[lev]; }
+    const MultiFab& state(int lev) const { return m_state[lev]; }
+
+    // CFL dt: the finest level is the binding constraint.
+    Real estimateDt() const;
+
+    // Advance the whole hierarchy by dt; regrids every regrid_interval
+    // steps. Returns total burn stats over all levels.
+    BurnGridStats step(Real dt);
+
+    Real time() const { return m_time; }
+    int stepCount() const { return m_nstep; }
+    int regrid_interval = 4;
+
+    // Conservation diagnostics over the hierarchy: sums on the coarsest
+    // level are authoritative after average_down.
+    Real totalMass() const;
+    Real totalEnergy() const;
+    Real maxTemperature() const;
+
+    // Fill `dst` (valid+ghost) for level lev from {level data, coarser
+    // level}, then apply physical BCs. dst must not be the state itself.
+    void fillPatch(int lev, MultiFab& dst);
+    void fillPatchFrom(int lev, const MultiFab& fine_src, MultiFab& dst);
+
+protected:
+    void MakeNewLevelFromScratch(int lev, const BoxArray& ba,
+                                 const DistributionMapping& dm) override;
+    void MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
+                                const DistributionMapping& dm) override;
+    void RemakeLevel(int lev, const BoxArray& ba,
+                     const DistributionMapping& dm) override;
+    void ClearLevel(int lev) override;
+    void ErrorEst(int lev, MultiFab& tags) override;
+
+private:
+    void advanceLevel(int lev, Real dt);
+    void initLevelData(int lev, MultiFab& mf);
+    void applyPhysBC(int lev, MultiFab& mf);
+
+    const ReactionNetwork& m_net;
+    Eos m_eos;
+    CastroOptions m_opt;
+    StateLayout m_layout;
+    Castro::InitFn m_init;
+    TagFn m_tag;
+    std::vector<MultiFab> m_state;
+    Real m_time = 0.0;
+    int m_nstep = 0;
+};
+
+} // namespace exa::castro

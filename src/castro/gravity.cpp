@@ -1,0 +1,161 @@
+#include "castro/gravity.hpp"
+
+#include "core/parallel_for.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace exa::castro {
+
+Gravity::Gravity(GravityType type, const Geometry& geom, int /*nspec*/)
+    : m_type(type), m_geom(geom) {
+    m_center = {0.5 * (geom.probLo(0) + geom.probHi(0)),
+                0.5 * (geom.probLo(1) + geom.probHi(1)),
+                0.5 * (geom.probLo(2) + geom.probHi(2))};
+}
+
+void Gravity::solve(const MultiFab& state) {
+    if (m_type == GravityType::None) return;
+    if (!m_defined) {
+        m_g.define(state.boxArray(), state.distributionMap(), 3, 0);
+        if (m_type == GravityType::Poisson) {
+            m_phi.define(state.boxArray(), state.distributionMap(), 1, 1);
+            m_phi.setVal(0.0);
+            Multigrid::Options opt;
+            opt.rtol = 1.0e-9;
+            m_mg = std::make_unique<Multigrid>(m_geom, MgBC::Dirichlet, opt);
+        }
+        m_defined = true;
+    }
+    if (m_type == GravityType::Monopole) {
+        solveMonopole(state);
+    } else {
+        solvePoisson(state);
+    }
+}
+
+void Gravity::solveMonopole(const MultiFab& state) {
+    // Radial mass histogram about the center.
+    const Real dx = m_geom.cellSize(0);
+    const Real rmax =
+        0.5 * std::sqrt(3.0) *
+        std::max({m_geom.probHi(0) - m_geom.probLo(0),
+                  m_geom.probHi(1) - m_geom.probLo(1),
+                  m_geom.probHi(2) - m_geom.probLo(2)});
+    const int nbins = std::max(16, m_geom.domain().length(0));
+    const Real dr = rmax / nbins;
+    std::vector<Real> mass(nbins, 0.0);
+
+    const Real vol = m_geom.cellVolume();
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        auto u = state.const_array(static_cast<int>(f));
+        const Box& vb = state.box(static_cast<int>(f));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k) {
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j) {
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    const Real x = m_geom.cellCenter(0, i) - m_center[0];
+                    const Real y = m_geom.cellCenter(1, j) - m_center[1];
+                    const Real z = m_geom.cellCenter(2, k) - m_center[2];
+                    const Real r = std::sqrt(x * x + y * y + z * z);
+                    const int b = std::min(static_cast<int>(r / dr), nbins - 1);
+                    mass[b] += u(i, j, k, StateLayout::URHO) * vol;
+                }
+            }
+        }
+    }
+    // Enclosed mass (cumulative).
+    std::vector<Real> menc(nbins + 1, 0.0);
+    for (int b = 0; b < nbins; ++b) menc[b + 1] = menc[b] + mass[b];
+
+    const Real* mencp = menc.data();
+    const Geometry geom = m_geom;
+    const auto center = m_center;
+    for (std::size_t f = 0; f < m_g.size(); ++f) {
+        auto g = m_g.array(static_cast<int>(f));
+        auto u = state.const_array(static_cast<int>(f));
+        (void)u;
+        ParallelFor(KernelInfo{"grav_monopole", 40.0, 48.0, 48, 1.0},
+                    m_g.box(static_cast<int>(f)), [=](int i, int j, int k) {
+                        const Real x = geom.cellCenter(0, i) - center[0];
+                        const Real y = geom.cellCenter(1, j) - center[1];
+                        const Real z = geom.cellCenter(2, k) - center[2];
+                        const Real r =
+                            std::max(std::sqrt(x * x + y * y + z * z), 0.25 * dx);
+                        const int b = std::min(static_cast<int>(r / dr),
+                                               static_cast<int>(nbins));
+                        const Real gm = -constants::G_newton * mencp[b] / (r * r);
+                        g(i, j, k, 0) = gm * x / r;
+                        g(i, j, k, 1) = gm * y / r;
+                        g(i, j, k, 2) = gm * z / r;
+                    });
+    }
+}
+
+void Gravity::solvePoisson(const MultiFab& state) {
+    // rhs = 4 pi G rho.
+    MultiFab rhs(state.boxArray(), state.distributionMap(), 1, 0);
+    for (std::size_t f = 0; f < rhs.size(); ++f) {
+        auto r = rhs.array(static_cast<int>(f));
+        auto u = state.const_array(static_cast<int>(f));
+        ParallelFor(rhs.box(static_cast<int>(f)), [=](int i, int j, int k) {
+            r(i, j, k) = 4.0 * constants::pi * constants::G_newton *
+                         u(i, j, k, StateLayout::URHO);
+        });
+    }
+    auto res = m_mg->solve(m_phi, rhs);
+    m_last_vcycles = res.vcycles;
+
+    // g = -grad(phi), central differences; ghost zones of phi were filled
+    // by the solver's boundary logic only on its own layout, so refill.
+    m_phi.FillBoundary(m_geom.periodicity());
+    // Dirichlet ghost fill at physical boundaries: phi ~ 0 outside.
+    const Geometry geom = m_geom;
+    for (std::size_t f = 0; f < m_g.size(); ++f) {
+        auto g = m_g.array(static_cast<int>(f));
+        auto p = m_phi.const_array(static_cast<int>(f));
+        const Box& vb = m_g.box(static_cast<int>(f));
+        const Box& dom = geom.domain();
+        ParallelFor(KernelInfo{"grav_grad_phi", 20.0, 64.0, 40, 1.0}, vb,
+                    [=](int i, int j, int k) {
+                        auto grad = [&](int d) {
+                            const IntVect e = IntVect::basis(d);
+                            const IntVect lo{i - e.x, j - e.y, k - e.z};
+                            const IntVect hi{i + e.x, j + e.y, k + e.z};
+                            Real pm = dom.contains(lo) ? p(lo.x, lo.y, lo.z) : 0.0;
+                            Real pp = dom.contains(hi) ? p(hi.x, hi.y, hi.z) : 0.0;
+                            // One-sided at the domain edge (phi -> 0 far away).
+                            return (pp - pm) / (2.0 * geom.cellSize(d));
+                        };
+                        g(i, j, k, 0) = -grad(0);
+                        g(i, j, k, 1) = -grad(1);
+                        g(i, j, k, 2) = -grad(2);
+                    });
+    }
+}
+
+void Gravity::addSource(MultiFab& state, Real dt) const {
+    if (m_type == GravityType::None) return;
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        auto u = state.array(static_cast<int>(f));
+        auto g = m_g.const_array(static_cast<int>(f));
+        ParallelFor(KernelInfo{"grav_source", 30.0, 100.0, 48, 1.0},
+                    state.box(static_cast<int>(f)), [=](int i, int j, int k) {
+                        const Real rho = u(i, j, k, StateLayout::URHO);
+                        Real mom[3] = {u(i, j, k, StateLayout::UMX),
+                                       u(i, j, k, StateLayout::UMX + 1),
+                                       u(i, j, k, StateLayout::UMX + 2)};
+                        Real de = 0.0;
+                        for (int d = 0; d < 3; ++d) {
+                            const Real dm = dt * rho * g(i, j, k, d);
+                            // Trapezoidal energy source: (mom_old+mom_new)/2 . g
+                            de += dt * (mom[d] + 0.5 * dm) * g(i, j, k, d);
+                            mom[d] += dm;
+                            u(i, j, k, StateLayout::UMX + d) = mom[d];
+                        }
+                        u(i, j, k, StateLayout::UEDEN) += de;
+                    });
+    }
+}
+
+} // namespace exa::castro

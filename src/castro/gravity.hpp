@@ -1,0 +1,57 @@
+#pragma once
+
+#include "castro/state.hpp"
+#include "mesh/multifab.hpp"
+#include "microphysics/network.hpp"
+#include "solvers/multigrid.hpp"
+
+#include <array>
+#include <memory>
+
+namespace exa::castro {
+
+// Self-gravity for Castro-mini. Two solvers, as in Castro:
+//   * Monopole: spherically averaged mass profile about a center;
+//     g(r) = -G M(<r) / r^2. Cheap, exact for spherical stars; used for
+//     the early (free-fall) phase sanity checks.
+//   * Poisson: full multigrid solve of lap(phi) = 4 pi G rho with
+//     homogeneous Dirichlet boundaries (the domain is assumed to extend
+//     well beyond the mass). This is the "global linear solve similar to
+//     [the multigrid solve], though a little easier" of Section V.
+enum class GravityType { None, Monopole, Poisson };
+
+class Gravity {
+public:
+    Gravity(GravityType type, const Geometry& geom, int nspec);
+
+    // Recompute the acceleration field (3 components) from the state.
+    void solve(const MultiFab& state);
+
+    const MultiFab& accel() const { return m_g; }
+
+    // Apply the gravitational source over dt: momentum and energy.
+    void addSource(MultiFab& state, Real dt) const;
+
+    // Center for the monopole solver (defaults to the domain center).
+    void setCenter(const std::array<Real, 3>& c) { m_center = c; }
+
+    // Total modeled multigrid V-cycles (performance accounting).
+    int lastVcycles() const { return m_last_vcycles; }
+
+    GravityType type() const { return m_type; }
+
+private:
+    void solveMonopole(const MultiFab& state);
+    void solvePoisson(const MultiFab& state);
+
+    GravityType m_type;
+    Geometry m_geom;
+    MultiFab m_g;   // acceleration, 3 components, on the state's BoxArray
+    MultiFab m_phi; // potential (Poisson only)
+    std::unique_ptr<Multigrid> m_mg;
+    std::array<Real, 3> m_center;
+    int m_last_vcycles = 0;
+    bool m_defined = false;
+};
+
+} // namespace exa::castro

@@ -1,0 +1,99 @@
+#include "castro/react.hpp"
+
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace exa::castro {
+
+BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos& eos,
+                         Real dt, const ReactOptions& opt) {
+    const int nspec = net.nspec();
+    BurnGridStats stats;
+    std::vector<std::int64_t> zone_steps;
+
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        auto u = state.array(static_cast<int>(f));
+        const Box& vb = state.box(static_cast<int>(f));
+        zone_steps.clear();
+        zone_steps.reserve(vb.numPts());
+
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k) {
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j) {
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    ++stats.zones;
+                    const Real rho = u(i, j, k, StateLayout::URHO);
+                    const Real T = u(i, j, k, StateLayout::UTEMP);
+                    if (T < opt.T_min || rho < opt.rho_min) {
+                        zone_steps.push_back(1); // skip: trivially cheap
+                        ++stats.total_steps;
+                        stats.max_steps = std::max<std::int64_t>(stats.max_steps, 1);
+                        continue;
+                    }
+                    Real X[32];
+                    for (int n = 0; n < nspec; ++n) {
+                        X[n] = std::clamp(u(i, j, k, StateLayout::UFS + n) / rho,
+                                          Real(0), Real(1));
+                    }
+                    auto r = burnZone(net, eos, rho, T, X, dt, opt.ode);
+                    if (!r.success) {
+                        ++stats.failures;
+                        zone_steps.push_back(r.stats.steps + 1);
+                        stats.total_steps += r.stats.steps + 1;
+                        continue;
+                    }
+                    for (int n = 0; n < nspec; ++n) {
+                        u(i, j, k, StateLayout::UFS + n) = rho * r.X[n];
+                    }
+                    u(i, j, k, StateLayout::UEDEN) += rho * r.e_nuc;
+                    u(i, j, k, StateLayout::UTEMP) = r.T;
+                    const std::int64_t steps = std::max<std::int64_t>(r.stats.steps, 1);
+                    zone_steps.push_back(steps);
+                    stats.total_steps += steps;
+                    stats.max_steps = std::max(stats.max_steps, steps);
+                }
+            }
+        }
+
+        // Report the burn launch to the simulated device. Under the
+        // hybrid option the outlier zones (the Section VI candidates for
+        // host-side integration) are removed from the device's
+        // imbalance before pricing the launch.
+        if (ExecConfig::backend() == Backend::SimGpu && !zone_steps.empty()) {
+            std::vector<std::int64_t> sorted = zone_steps;
+            std::sort(sorted.begin(), sorted.end());
+            const std::int64_t median = sorted[sorted.size() / 2];
+            double mean = 0.0;
+            for (auto s : sorted) mean += static_cast<double>(s);
+            mean /= sorted.size();
+            std::int64_t device_max = sorted.back();
+            std::int64_t device_zones = static_cast<std::int64_t>(sorted.size());
+            if (opt.hybrid_cpu_outliers) {
+                const std::int64_t cutoff = static_cast<std::int64_t>(
+                    opt.outlier_factor * std::max<std::int64_t>(median, 1));
+                auto firstOut =
+                    std::upper_bound(sorted.begin(), sorted.end(), cutoff);
+                device_zones = firstOut - sorted.begin();
+                device_max = device_zones > 0 ? sorted[device_zones - 1] : 1;
+                double dev_mean = 0.0;
+                for (auto it = sorted.begin(); it != firstOut; ++it) {
+                    dev_mean += static_cast<double>(*it);
+                }
+                mean = device_zones > 0 ? dev_mean / device_zones : 1.0;
+            }
+            const double imbalance =
+                mean > 0 ? static_cast<double>(device_max) / mean : 1.0;
+            LaunchRecord rec;
+            rec.info = burnKernelInfo(nspec, std::max(mean, 1.0), imbalance);
+            rec.zones = device_zones;
+            rec.ncomp = 1;
+            rec.stream = ExecConfig::currentStream();
+            ExecConfig::notifyLaunch(rec);
+        }
+    }
+    return stats;
+}
+
+} // namespace exa::castro

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "castro/state.hpp"
+#include "mesh/multifab.hpp"
+#include "microphysics/burner.hpp"
+
+namespace exa::castro {
+
+// Options for the grid-level burn driver.
+struct ReactOptions {
+    OdeOptions ode;
+    Real T_min = 5.0e7;   // zones cooler than this are skipped (inert)
+    Real rho_min = 1.0e2; // zones more dilute than this are skipped
+    // When true, the simulated device launch excludes the outlier zones
+    // (cost > outlier_factor x median), which are modeled as burned on
+    // the host concurrently — the paper's Section VI hybrid strategy.
+    bool hybrid_cpu_outliers = false;
+    double outlier_factor = 10.0;
+};
+
+// Burn every (eligible) zone of the state for dt at constant volume,
+// updating species, energy, and temperature. Reports per-grid cost
+// statistics and notifies the simulated device of the launch with a
+// KernelInfo reflecting the network size (register pressure) and the
+// measured zone-to-zone work imbalance.
+BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos& eos,
+                         Real dt, const ReactOptions& opt = ReactOptions{});
+
+} // namespace exa::castro

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "core/real.hpp"
+
+namespace exa::castro {
+
+// Conserved-state component layout for Castro-mini. Mirrors Castro's
+// state: density, momenta, total energy density, followed by partial
+// densities rho*X_k for the nspec network species. Temperature is carried
+// as a derived convenience component (kept consistent by the EOS after
+// every update), as Castro does with UTEMP.
+struct StateLayout {
+    explicit StateLayout(int nspec_in) : nspec(nspec_in) {}
+
+    int nspec = 0;
+
+    static constexpr int URHO = 0;
+    static constexpr int UMX = 1;
+    static constexpr int UMY = 2;
+    static constexpr int UMZ = 3;
+    static constexpr int UEDEN = 4; // rho E (internal + kinetic)
+    static constexpr int UTEMP = 5;
+    static constexpr int UFS = 6; // first species: rho X_0
+
+    int ncomp() const { return UFS + nspec; }
+};
+
+// Primitive-variable layout used inside the hydro kernels.
+struct PrimLayout {
+    explicit PrimLayout(int nspec_in) : nspec(nspec_in) {}
+
+    int nspec = 0;
+
+    static constexpr int QRHO = 0;
+    static constexpr int QU = 1;
+    static constexpr int QV = 2;
+    static constexpr int QW = 3;
+    static constexpr int QP = 4;
+    static constexpr int QREINT = 5; // rho * e (needed by the Riemann solver)
+    static constexpr int QC = 6;     // sound speed (not reconstructed)
+    static constexpr int QFS = 7;    // first species mass fraction
+
+    int ncomp() const { return QFS + nspec; }
+};
+
+} // namespace exa::castro

@@ -1,0 +1,102 @@
+#include "comm/halo_pattern.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace exa {
+
+namespace {
+
+// Morton-ordered box ids, chunked contiguously over ranks.
+std::vector<int> rankTable(const RegularDecomposition& d, int nranks) {
+    const std::int64_t n = d.numBoxes();
+    std::vector<std::int64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    auto center = [&](std::int64_t id, int& x, int& y, int& z) {
+        x = static_cast<int>(id % d.nbx);
+        y = static_cast<int>((id / d.nbx) % d.nby);
+        z = static_cast<int>(id / (static_cast<std::int64_t>(d.nbx) * d.nby));
+    };
+    std::vector<std::uint64_t> code(n);
+    for (std::int64_t id = 0; id < n; ++id) {
+        int x, y, z;
+        center(id, x, y, z);
+        code[id] = mortonCode(x, y, z);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::int64_t a, std::int64_t b) { return code[a] < code[b]; });
+    std::vector<int> rank(n);
+    for (std::int64_t pos = 0; pos < n; ++pos) {
+        rank[order[pos]] = static_cast<int>(pos * nranks / n);
+    }
+    return rank;
+}
+
+} // namespace
+
+int regularBoxRank(const RegularDecomposition& d, int ix, int iy, int iz, int nranks) {
+    // Convenience (re-builds the table; fine for tests).
+    auto table = rankTable(d, nranks);
+    const std::int64_t id =
+        ix + static_cast<std::int64_t>(d.nbx) * (iy + static_cast<std::int64_t>(d.nby) * iz);
+    return table[id];
+}
+
+void buildHaloPattern(const RegularDecomposition& d, int nranks, CommLedger& ledger) {
+    const auto rank = rankTable(d, nranks);
+    auto boxid = [&](int x, int y, int z) {
+        return x + static_cast<std::int64_t>(d.nbx) * (y + static_cast<std::int64_t>(d.nby) * z);
+    };
+    auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+
+    const int ext[3] = {d.bx, d.by, d.bz};
+    for (int z = 0; z < d.nbz; ++z) {
+        for (int y = 0; y < d.nby; ++y) {
+            for (int x = 0; x < d.nbx; ++x) {
+                const int dst = rank[boxid(x, y, z)];
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            if (dx == 0 && dy == 0 && dz == 0) continue;
+                            int nx = x + dx, ny = y + dy, nz = z + dz;
+                            if (!d.periodic &&
+                                (nx < 0 || nx >= d.nbx || ny < 0 || ny >= d.nby ||
+                                 nz < 0 || nz >= d.nbz)) {
+                                continue;
+                            }
+                            nx = wrap(nx, d.nbx);
+                            ny = wrap(ny, d.nby);
+                            nz = wrap(nz, d.nbz);
+                            const int src = rank[boxid(nx, ny, nz)];
+                            if (src == dst) continue;
+                            // Halo volume: ngrow in each offset dimension,
+                            // full extent in the others.
+                            const int off[3] = {dx, dy, dz};
+                            std::int64_t zones = 1;
+                            for (int dim = 0; dim < 3; ++dim) {
+                                zones *= (off[dim] == 0)
+                                             ? ext[dim]
+                                             : std::min(d.ngrow, ext[dim]);
+                            }
+                            ledger.record({src, dst,
+                                           zones * d.ncomp *
+                                               static_cast<std::int64_t>(sizeof(double)),
+                                           "fillboundary"});
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+BoxArray makeBoxArray(const RegularDecomposition& d) {
+    Box domain({0, 0, 0},
+               {d.nbx * d.bx - 1, d.nby * d.by - 1, d.nbz * d.bz - 1});
+    BoxArray ba(domain);
+    ba.maxSize(IntVect{d.bx, d.by, d.bz});
+    return ba;
+}
+
+} // namespace exa

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "comm/ledger.hpp"
+#include "mesh/box_array.hpp"
+#include "mesh/distribution.hpp"
+
+namespace exa {
+
+// Description of a regular (uniform) box decomposition: a grid of
+// nbx x nby x nbz boxes of bx x by x bz zones. The weak-scaling benches
+// use this to generate the exact FillBoundary message pattern of
+// production-scale domains (thousands of boxes) without instantiating the
+// data: each box exchanges face/edge/corner halos with its 26 neighbors,
+// exactly as MultiFab::FillBoundary would, and off-rank intersections
+// become ledger messages.
+struct RegularDecomposition {
+    int nbx = 1, nby = 1, nbz = 1; // boxes per dimension
+    int bx = 32, by = 32, bz = 32; // zones per box per dimension
+    int ngrow = 4;                 // ghost width
+    int ncomp = 5;                 // components exchanged
+    bool periodic = true;
+
+    std::int64_t numBoxes() const {
+        return static_cast<std::int64_t>(nbx) * nby * nbz;
+    }
+    std::int64_t zonesPerBox() const {
+        return static_cast<std::int64_t>(bx) * by * bz;
+    }
+    std::int64_t totalZones() const { return numBoxes() * zonesPerBox(); }
+};
+
+// Rank of a box under an SFC-like contiguous-chunk mapping over Morton
+// order (mirrors DistributionMapping::Strategy::Sfc for equal boxes).
+int regularBoxRank(const RegularDecomposition& d, int ix, int iy, int iz, int nranks);
+
+// Populate `ledger` with every off-rank FillBoundary message of one ghost
+// exchange over the decomposition, for `nranks` ranks.
+void buildHaloPattern(const RegularDecomposition& d, int nranks, CommLedger& ledger);
+
+// Build a real BoxArray + SFC DistributionMapping for the decomposition
+// (for modest sizes where instantiating data is feasible).
+BoxArray makeBoxArray(const RegularDecomposition& d);
+
+} // namespace exa

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace exa {
+
+// How simulated MPI ranks map onto nodes. Castro and MAESTROeX run one
+// rank per GPU, so a Summit node hosts six ranks; whether a message stays
+// on-node (NVLink) or crosses the network (InfiniBand) follows from this
+// layout and dominates the scaling behaviour.
+struct RankLayout {
+    int nodes = 1;
+    int ranks_per_node = 6;
+
+    int numRanks() const { return nodes * ranks_per_node; }
+    int nodeOf(int rank) const { return rank / ranks_per_node; }
+    bool sameNode(int r1, int r2) const { return nodeOf(r1) == nodeOf(r2); }
+};
+
+} // namespace exa

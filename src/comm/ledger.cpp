@@ -1,0 +1,65 @@
+#include "comm/ledger.hpp"
+
+#include <algorithm>
+
+namespace exa {
+
+void CommLedger::attach() {
+    CommHooks::setMessageHook([this](const MessageRecord& r) { record(r); });
+    m_attached = true;
+}
+
+void CommLedger::detach() {
+    if (m_attached) {
+        CommHooks::clearMessageHook();
+        m_attached = false;
+    }
+}
+
+void CommLedger::record(const MessageRecord& r) {
+    auto& e = m_edges[{r.src_rank, r.dst_rank}];
+    e.bytes += r.bytes;
+    ++e.msgs;
+    m_total_bytes += r.bytes;
+    ++m_total_msgs;
+    m_tag_bytes[r.tag] += r.bytes;
+}
+
+void CommLedger::reset() {
+    m_edges.clear();
+    m_tag_bytes.clear();
+    m_total_bytes = 0;
+    m_total_msgs = 0;
+}
+
+std::int64_t CommLedger::bytesWithTag(const std::string& tag) const {
+    auto it = m_tag_bytes.find(tag);
+    return it == m_tag_bytes.end() ? 0 : it->second;
+}
+
+std::int64_t CommLedger::offNodeBytes(const RankLayout& layout) const {
+    std::int64_t b = 0;
+    for (const auto& [key, e] : m_edges) {
+        if (!layout.sameNode(key.first, key.second)) b += e.bytes;
+    }
+    return b;
+}
+
+double CommLedger::phaseTime(const RankLayout& layout, const NetworkModel& net) const {
+    // Serialized per-rank cost: each rank pays for its sends and receives.
+    std::vector<double> rank_time(layout.numRanks(), 0.0);
+    for (const auto& [key, e] : m_edges) {
+        const auto [src, dst] = key;
+        if (src >= layout.numRanks() || dst >= layout.numRanks()) continue;
+        // One aggregated message per (src,dst) pair per phase: real codes
+        // pack all box intersections for a neighbor into one buffer, so
+        // latency is paid once per neighbor, not once per box pair.
+        const double t = net.p2pTime(e.bytes, layout.sameNode(src, dst), layout.nodes);
+        rank_time[src] += t;
+        rank_time[dst] += t;
+    }
+    return rank_time.empty() ? 0.0
+                             : *std::max_element(rank_time.begin(), rank_time.end());
+}
+
+} // namespace exa

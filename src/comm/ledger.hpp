@@ -1,0 +1,53 @@
+#pragma once
+
+#include "comm/layout.hpp"
+#include "comm/network.hpp"
+#include "mesh/comm_hooks.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exa {
+
+// Collects the MessageRecords emitted by the mesh layer (FillBoundary,
+// ParallelCopy) and prices them with a NetworkModel. The accounting is
+// bulk-synchronous: within one communication phase every rank sends and
+// receives concurrently, so phase time = max over ranks of that rank's
+// serialized send+recv cost.
+class CommLedger {
+public:
+    // Attach this ledger as the process-wide message sink. Only one ledger
+    // may be attached at a time.
+    void attach();
+    void detach();
+    ~CommLedger() { detach(); }
+
+    void record(const MessageRecord& r);
+    void reset();
+
+    std::int64_t totalBytes() const { return m_total_bytes; }
+    std::int64_t totalMessages() const { return m_total_msgs; }
+    std::int64_t bytesWithTag(const std::string& tag) const;
+
+    // Bytes that would cross the node boundary under the given layout.
+    std::int64_t offNodeBytes(const RankLayout& layout) const;
+
+    // Modeled wall time for all recorded messages treated as one bulk-
+    // synchronous phase under the given layout and network model.
+    double phaseTime(const RankLayout& layout, const NetworkModel& net) const;
+
+private:
+    struct Edge {
+        std::int64_t bytes = 0;
+        std::int64_t msgs = 0;
+    };
+    std::map<std::pair<int, int>, Edge> m_edges; // (src,dst) -> totals
+    std::map<std::string, std::int64_t> m_tag_bytes;
+    std::int64_t m_total_bytes = 0;
+    std::int64_t m_total_msgs = 0;
+    bool m_attached = false;
+};
+
+} // namespace exa

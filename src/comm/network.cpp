@@ -1,0 +1,34 @@
+#include "comm/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa {
+
+double NetworkModel::hopFactor(int nodes) const {
+    return 1.0 + congestion * std::log2(std::max(1, nodes));
+}
+
+double NetworkModel::p2pTime(std::int64_t bytes, bool same_node, int nodes) const {
+    if (same_node) {
+        return alpha_node + static_cast<double>(bytes) / beta_node;
+    }
+    const double hf = hopFactor(nodes);
+    return alpha_net * hf + static_cast<double>(bytes) / (beta_net / hf);
+}
+
+double NetworkModel::allreduceTime(std::int64_t bytes, int nranks, int nodes) const {
+    if (nranks <= 1) return 0.0;
+    // Recursive doubling: log2(P) stages each way. Stages within a node
+    // are cheap; stages across nodes pay network latency with congestion.
+    const double stages = std::ceil(std::log2(static_cast<double>(nranks)));
+    const double node_stages =
+        std::ceil(std::log2(static_cast<double>(std::max(1, nranks / std::max(1, nodes)))));
+    const double net_stages = std::max(0.0, stages - node_stages);
+    const double hf = hopFactor(nodes);
+    const double t_node = node_stages * (alpha_node + bytes / beta_node);
+    const double t_net = net_stages * (alpha_net * hf + bytes / (beta_net / hf));
+    return 2.0 * (t_node + t_net);
+}
+
+} // namespace exa

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "comm/layout.hpp"
+
+#include <cstdint>
+
+namespace exa {
+
+// Alpha-beta network cost model with a mild congestion term, representing
+// a Summit-like fat-tree EDR InfiniBand fabric plus on-node NVLink.
+//
+// Point-to-point message time:
+//   on-node : t = alpha_node + bytes / beta_node
+//   off-node: t = alpha_net * hop(P) + bytes / beta_net_eff
+// where hop(P) = 1 + congestion * log2(nodes) models growing switch depth
+// and adaptive-routing conflicts at scale, and beta_net_eff is reduced by
+// the same factor when many nodes communicate at once.
+//
+// These are *model* parameters, calibrated in src/perf/summit.hpp against
+// the scaling efficiencies reported in the paper; the message counts and
+// sizes they multiply come from the real decomposition (see CommLedger
+// and HaloPattern).
+struct NetworkModel {
+    double alpha_node = 2.0e-6;   // s, on-node (NVLink / shared memory) latency
+    double beta_node = 50.0e9;    // B/s, on-node bandwidth per rank pair
+    double alpha_net = 1.5e-6;    // s, network injection latency
+    double beta_net = 6.5e9;      // B/s, effective per-rank halo bandwidth
+                                  // (strided pack/unpack + shared NIC; well
+                                  // below the EDR line rate)
+    double congestion = 0.35;     // growth of effective latency with log2(nodes)
+
+    double hopFactor(int nodes) const;
+
+    // Time for one point-to-point message.
+    double p2pTime(std::int64_t bytes, bool same_node, int nodes) const;
+
+    // Time for an allreduce of `bytes` over `nranks` ranks spread over
+    // `nodes` nodes (recursive-doubling: 2*log2 stages; the off-node
+    // stages pay network latency).
+    double allreduceTime(std::int64_t bytes, int nranks, int nodes) const;
+
+    // Time for a barrier-like global sync (latency-only allreduce).
+    double barrierTime(int nranks, int nodes) const {
+        return allreduceTime(8, nranks, nodes);
+    }
+};
+
+} // namespace exa

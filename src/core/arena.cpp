@@ -1,0 +1,128 @@
+#include "core/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace exa {
+
+namespace {
+constexpr std::size_t alignment = 64;
+
+void* aligned_alloc_checked(std::size_t bytes) {
+    // Round up to the alignment multiple required by std::aligned_alloc.
+    std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+    void* p = std::aligned_alloc(alignment, rounded);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+} // namespace
+
+void* MallocArena::allocate(std::size_t bytes) {
+    void* p = aligned_alloc_checked(bytes);
+    std::lock_guard<std::mutex> lk(m_mutex);
+    ++m_stats.allocs;
+    ++m_stats.slow_allocs;
+    m_stats.bytes_in_use += bytes;
+    m_stats.bytes_reserved += bytes;
+    m_stats.hwm_bytes = std::max(m_stats.hwm_bytes, m_stats.bytes_in_use);
+    m_live[p] = bytes;
+    return p;
+}
+
+void MallocArena::deallocate(void* p) {
+    if (p == nullptr) return;
+    std::size_t bytes = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        auto it = m_live.find(p);
+        if (it != m_live.end()) {
+            bytes = it->second;
+            m_live.erase(it);
+        }
+        ++m_stats.frees;
+        m_stats.bytes_in_use -= bytes;
+        m_stats.bytes_reserved -= bytes;
+    }
+    std::free(p);
+}
+
+PoolArena::PoolArena(std::size_t min_block) : m_min_block(min_block) {}
+
+PoolArena::~PoolArena() {
+    for (auto& [cls, blocks] : m_free) {
+        for (void* p : blocks) std::free(p);
+    }
+}
+
+std::size_t PoolArena::sizeClass(std::size_t bytes) const {
+    std::size_t cls = m_min_block;
+    while (cls < bytes) cls <<= 1;
+    return cls;
+}
+
+void* PoolArena::allocate(std::size_t bytes) {
+    const std::size_t cls = sizeClass(bytes);
+    std::lock_guard<std::mutex> lk(m_mutex);
+    ++m_stats.allocs;
+    void* p = nullptr;
+    auto it = m_free.find(cls);
+    if (it != m_free.end() && !it->second.empty()) {
+        p = it->second.back();
+        it->second.pop_back();
+        ++m_stats.pool_hits;
+    } else {
+        p = aligned_alloc_checked(cls);
+        ++m_stats.slow_allocs;
+        m_stats.bytes_reserved += cls;
+    }
+    m_live[p] = cls;
+    m_stats.bytes_in_use += cls;
+    m_stats.hwm_bytes = std::max(m_stats.hwm_bytes, m_stats.bytes_in_use);
+    return p;
+}
+
+void PoolArena::deallocate(void* p) {
+    if (p == nullptr) return;
+    std::lock_guard<std::mutex> lk(m_mutex);
+    ++m_stats.frees;
+    auto it = m_live.find(p);
+    if (it == m_live.end()) return; // not ours; ignore
+    const std::size_t cls = it->second;
+    m_live.erase(it);
+    m_stats.bytes_in_use -= cls;
+    m_free[cls].push_back(p);
+}
+
+void PoolArena::releaseCached() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    for (auto& [cls, blocks] : m_free) {
+        for (void* p : blocks) {
+            std::free(p);
+            m_stats.bytes_reserved -= cls;
+        }
+        blocks.clear();
+    }
+}
+
+namespace {
+Arena* g_the_arena = nullptr;
+}
+
+PoolArena& thePoolArena() {
+    static PoolArena arena;
+    return arena;
+}
+
+MallocArena& theMallocArena() {
+    static MallocArena arena;
+    return arena;
+}
+
+Arena* The_Arena() {
+    if (g_the_arena == nullptr) g_the_arena = &thePoolArena();
+    return g_the_arena;
+}
+
+void setTheArena(Arena* a) { g_the_arena = a; }
+
+} // namespace exa

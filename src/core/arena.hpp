@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace exa {
+
+// Counters exported by every Arena. "slow_allocs" counts calls that had to
+// go to the underlying allocator (the analogue of cudaMalloc); on the
+// caching arena these become rare after warm-up, which is precisely the
+// optimization the paper credits with making per-timestep temporaries
+// viable on the GPU.
+struct ArenaStats {
+    std::uint64_t allocs = 0;        // total allocate() calls
+    std::uint64_t frees = 0;         // total deallocate() calls
+    std::uint64_t slow_allocs = 0;   // calls that hit the backing allocator
+    std::uint64_t pool_hits = 0;     // calls satisfied from the free list
+    std::uint64_t bytes_in_use = 0;  // currently handed out
+    std::uint64_t bytes_reserved = 0;// handed out + cached in free lists
+    std::uint64_t hwm_bytes = 0;     // high-water mark of bytes_in_use
+};
+
+// Abstract memory arena, mirroring amrex::Arena. Implementations decide
+// how allocation maps onto the underlying allocator; all state that an
+// application allocates through an arena is considered device-resident
+// under the simulated GPU backend.
+class Arena {
+public:
+    virtual ~Arena() = default;
+
+    virtual void* allocate(std::size_t bytes) = 0;
+    virtual void deallocate(void* p) = 0;
+
+    // Release cached (not-in-use) memory back to the system.
+    virtual void releaseCached() {}
+
+    ArenaStats stats() const {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        return m_stats;
+    }
+    void resetStats() {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        m_stats = ArenaStats{};
+    }
+
+protected:
+    mutable std::mutex m_mutex;
+    ArenaStats m_stats;
+};
+
+// Pass-through arena: every allocate() is a fresh call to the system
+// allocator. This models the pre-optimization behaviour in which every
+// per-timestep temporary triggered a cudaMalloc.
+class MallocArena final : public Arena {
+public:
+    void* allocate(std::size_t bytes) override;
+    void deallocate(void* p) override;
+
+private:
+    std::map<void*, std::size_t> m_live; // to account bytes on free
+};
+
+// Caching (pool) arena: frees return blocks to size-class free lists and
+// later allocations of the same class are handle reuse, never touching the
+// underlying allocator. Mirrors the AMReX caching arena the paper made the
+// default for CUDA builds.
+class PoolArena final : public Arena {
+public:
+    explicit PoolArena(std::size_t min_block = 64);
+    ~PoolArena() override;
+
+    void* allocate(std::size_t bytes) override;
+    void deallocate(void* p) override;
+    void releaseCached() override;
+
+private:
+    // Size class: smallest power of two >= max(bytes, min_block).
+    std::size_t sizeClass(std::size_t bytes) const;
+
+    std::size_t m_min_block;
+    std::map<std::size_t, std::vector<void*>> m_free; // size class -> blocks
+    std::map<void*, std::size_t> m_live;              // block -> size class
+};
+
+// The global arenas. The_Arena() is what MultiFabs and scratch data
+// allocate from; by default it is the caching pool arena, matching the
+// paper's contributed change to AMReX. setTheArena() lets the allocator
+// ablation swap in the malloc arena.
+Arena* The_Arena();
+void setTheArena(Arena* a);
+PoolArena& thePoolArena();
+MallocArena& theMallocArena();
+
+} // namespace exa

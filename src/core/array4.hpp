@@ -1,0 +1,74 @@
+#pragma once
+
+#include "core/box.hpp"
+#include "core/intvect.hpp"
+#include "core/real.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace exa {
+
+// A non-owning view of a four-dimensional (i,j,k,component) array laid out
+// in Fortran order over a Box, mirroring amrex::Array4. Kernels index it
+// with *global* zone coordinates; the view subtracts the box origin.
+//
+// This is the heart of the paper's single-source kernel style: the same
+// Array4-indexed lambda body runs under the serial backend, the OpenMP
+// backend, and the (simulated) GPU backend.
+template <typename T>
+struct Array4 {
+    T* p = nullptr;
+    std::int64_t jstride = 0; // distance between j neighbors
+    std::int64_t kstride = 0; // distance between k neighbors
+    std::int64_t nstride = 0; // distance between components
+    Dim3 begin{0, 0, 0};      // inclusive lower bound
+    Dim3 end{0, 0, 0};        // exclusive upper bound
+    int ncomp = 0;
+
+    constexpr Array4() = default;
+
+    Array4(T* ptr, const Box& bx, int ncomps)
+        : p(ptr),
+          jstride(bx.length(0)),
+          kstride(static_cast<std::int64_t>(bx.length(0)) * bx.length(1)),
+          nstride(static_cast<std::int64_t>(bx.length(0)) * bx.length(1) * bx.length(2)),
+          begin{bx.smallEnd(0), bx.smallEnd(1), bx.smallEnd(2)},
+          end{bx.bigEnd(0) + 1, bx.bigEnd(1) + 1, bx.bigEnd(2) + 1},
+          ncomp(ncomps) {}
+
+    // Implicit conversion Array4<T> -> Array4<const T>.
+    template <typename U = T,
+              typename = std::enable_if_t<std::is_const_v<U>>>
+    Array4(const Array4<std::remove_const_t<T>>& o)
+        : p(o.p), jstride(o.jstride), kstride(o.kstride), nstride(o.nstride),
+          begin(o.begin), end(o.end), ncomp(o.ncomp) {}
+
+    EXA_FORCE_INLINE T& operator()(int i, int j, int k) const {
+        return p[index(i, j, k, 0)];
+    }
+    EXA_FORCE_INLINE T& operator()(int i, int j, int k, int n) const {
+        return p[index(i, j, k, n)];
+    }
+
+    EXA_FORCE_INLINE std::int64_t index(int i, int j, int k, int n) const {
+        assert(contains(i, j, k) && n >= 0 && n < ncomp);
+        return (i - begin.x) + (j - begin.y) * jstride + (k - begin.z) * kstride +
+               n * nstride;
+    }
+
+    EXA_FORCE_INLINE bool contains(int i, int j, int k) const {
+        return i >= begin.x && i < end.x && j >= begin.y && j < end.y && k >= begin.z &&
+               k < end.z;
+    }
+
+    // Pointer to the start of component n (contiguous over the box).
+    T* dataPtr(int n = 0) const { return p + n * nstride; }
+
+    std::int64_t sizePerComp() const { return nstride; }
+
+    explicit operator bool() const { return p != nullptr; }
+};
+
+} // namespace exa

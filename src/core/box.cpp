@@ -1,0 +1,78 @@
+#include "core/box.hpp"
+
+#include <ostream>
+
+namespace exa {
+
+std::vector<Box> boxDiff(const Box& a, const Box& b) {
+    std::vector<Box> out;
+    if (!a.ok()) return out;
+    Box isect = a & b;
+    if (!isect.ok()) {
+        out.push_back(a);
+        return out;
+    }
+    // Peel slabs off each dimension in turn; what remains shrinks toward
+    // the intersection and is finally discarded.
+    Box rem = a;
+    for (int d = 0; d < 3; ++d) {
+        if (rem.smallEnd(d) < isect.smallEnd(d)) {
+            Box lo = rem;
+            lo = Box(lo.smallEnd(),
+                     [&] { IntVect h = lo.bigEnd(); h[d] = isect.smallEnd(d) - 1; return h; }());
+            out.push_back(lo);
+            IntVect nlo = rem.smallEnd();
+            nlo[d] = isect.smallEnd(d);
+            rem = Box(nlo, rem.bigEnd());
+        }
+        if (rem.bigEnd(d) > isect.bigEnd(d)) {
+            IntVect hlo = rem.smallEnd();
+            hlo[d] = isect.bigEnd(d) + 1;
+            out.push_back(Box(hlo, rem.bigEnd()));
+            IntVect nhi = rem.bigEnd();
+            nhi[d] = isect.bigEnd(d);
+            rem = Box(rem.smallEnd(), nhi);
+        }
+    }
+    return out;
+}
+
+std::vector<Box> chopDomain(const Box& domain, const IntVect& max_size) {
+    std::vector<Box> out;
+    if (!domain.ok()) return out;
+    // Number of cuts per dimension, then distribute the remainder so box
+    // sizes differ by at most one zone.
+    int ncut[3];
+    for (int d = 0; d < 3; ++d) {
+        ncut[d] = (domain.length(d) + max_size[d] - 1) / max_size[d];
+    }
+    auto edges = [&](int d) {
+        std::vector<int> e(ncut[d] + 1);
+        const int len = domain.length(d);
+        const int base = len / ncut[d];
+        const int rem = len % ncut[d];
+        e[0] = domain.smallEnd(d);
+        for (int c = 0; c < ncut[d]; ++c) {
+            e[c + 1] = e[c] + base + (c < rem ? 1 : 0);
+        }
+        return e;
+    };
+    const auto ex = edges(0);
+    const auto ey = edges(1);
+    const auto ez = edges(2);
+    for (int kc = 0; kc < ncut[2]; ++kc) {
+        for (int jc = 0; jc < ncut[1]; ++jc) {
+            for (int ic = 0; ic < ncut[0]; ++ic) {
+                out.push_back(Box({ex[ic], ey[jc], ez[kc]},
+                                  {ex[ic + 1] - 1, ey[jc + 1] - 1, ez[kc + 1] - 1}));
+            }
+        }
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << '[' << b.smallEnd() << ' ' << b.bigEnd() << ']';
+}
+
+} // namespace exa

@@ -1,0 +1,120 @@
+#pragma once
+
+#include "core/intvect.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace exa {
+
+// A rectangular region of cell-centered index space, inclusive on both
+// ends: the set of zones (i,j,k) with lo <= (i,j,k) <= hi. This is the
+// unit of work distribution in block-structured AMR codes: a Fab covers
+// exactly one Box (plus ghost zones), an MPI rank owns a set of Boxes,
+// and a GPU kernel launch maps threads onto the zones of one Box.
+class Box {
+public:
+    Box() : m_lo(IntVect::zero()), m_hi(IntVect(-1)) {} // default: empty
+    Box(const IntVect& lo, const IntVect& hi) : m_lo(lo), m_hi(hi) {}
+
+    const IntVect& smallEnd() const { return m_lo; }
+    const IntVect& bigEnd() const { return m_hi; }
+    int smallEnd(int d) const { return m_lo[d]; }
+    int bigEnd(int d) const { return m_hi[d]; }
+
+    bool operator==(const Box&) const = default;
+
+    // Number of zones along dimension d (0 if empty in that dimension).
+    int length(int d) const { return m_hi[d] - m_lo[d] + 1; }
+    IntVect size() const { return {length(0), length(1), length(2)}; }
+
+    bool ok() const { return m_lo.allLE(m_hi); }
+    bool isEmpty() const { return !ok(); }
+
+    std::int64_t numPts() const {
+        if (!ok()) return 0;
+        return static_cast<std::int64_t>(length(0)) * length(1) * length(2);
+    }
+
+    bool contains(const IntVect& p) const { return m_lo.allLE(p) && p.allLE(m_hi); }
+    bool contains(int i, int j, int k) const { return contains(IntVect{i, j, k}); }
+    bool contains(const Box& b) const { return !b.ok() || (contains(b.m_lo) && contains(b.m_hi)); }
+
+    bool intersects(const Box& b) const { return (*this & b).ok(); }
+
+    // Set intersection of two boxes (possibly empty).
+    Box operator&(const Box& b) const {
+        return Box(max(m_lo, b.m_lo), min(m_hi, b.m_hi));
+    }
+
+    Box& grow(int n) { m_lo -= IntVect(n); m_hi += IntVect(n); return *this; }
+    Box& grow(const IntVect& n) { m_lo -= n; m_hi += n; return *this; }
+    Box& grow(int d, int n) { m_lo[d] -= n; m_hi[d] += n; return *this; }
+    Box& growLo(int d, int n) { m_lo[d] -= n; return *this; }
+    Box& growHi(int d, int n) { m_hi[d] += n; return *this; }
+
+    Box& shift(const IntVect& s) { m_lo += s; m_hi += s; return *this; }
+    Box& shift(int d, int n) { m_lo[d] += n; m_hi[d] += n; return *this; }
+
+    // Coarsen by an integer ratio (floor division toward -inf on both
+    // ends; the result covers every coarse zone any fine zone maps to).
+    Box& coarsen(int ratio) { return coarsen(IntVect(ratio)); }
+    Box& coarsen(const IntVect& r) {
+        for (int d = 0; d < 3; ++d) {
+            m_lo[d] = coarsen_index(m_lo[d], r[d]);
+            m_hi[d] = coarsen_index(m_hi[d], r[d]);
+        }
+        return *this;
+    }
+
+    // Refine by an integer ratio (inverse of coarsen on aligned boxes).
+    Box& refine(int ratio) { return refine(IntVect(ratio)); }
+    Box& refine(const IntVect& r) {
+        for (int d = 0; d < 3; ++d) {
+            m_lo[d] *= r[d];
+            m_hi[d] = (m_hi[d] + 1) * r[d] - 1;
+        }
+        return *this;
+    }
+
+    // True if this box, coarsened then refined by ratio, is unchanged.
+    bool coarsenable(int ratio) const {
+        Box b = *this;
+        Box c = b;
+        c.coarsen(ratio).refine(ratio);
+        return c == *this;
+    }
+
+    Dim3 loDim3() const { return {m_lo.x, m_lo.y, m_lo.z}; }
+    Dim3 hiDim3() const { return {m_hi.x, m_hi.y, m_hi.z}; }
+
+private:
+    IntVect m_lo, m_hi;
+};
+
+inline Box grow(Box b, int n) { return b.grow(n); }
+inline Box grow(Box b, const IntVect& n) { return b.grow(n); }
+inline Box grow(Box b, int d, int n) { return b.grow(d, n); }
+inline Box shift(Box b, const IntVect& s) { return b.shift(s); }
+inline Box coarsen(Box b, int r) { return b.coarsen(r); }
+inline Box refine(Box b, int r) { return b.refine(r); }
+
+// The face-flux box for dimension d: one extra zone on the high side, so
+// that flux(i,j,k) is the flux through the low face of zone (i,j,k).
+inline Box surroundingFaces(Box b, int d) { return b.growHi(d, 1); }
+
+// Subtract box b from box a, returning up to six disjoint boxes covering
+// a \ b. Used for ghost-region bookkeeping and tagging.
+std::vector<Box> boxDiff(const Box& a, const Box& b);
+
+// Chop `domain` into boxes no larger than max_size per dimension, cutting
+// as evenly as possible. All returned boxes tile `domain` exactly.
+std::vector<Box> chopDomain(const Box& domain, const IntVect& max_size);
+inline std::vector<Box> chopDomain(const Box& domain, int max_size) {
+    return chopDomain(domain, IntVect(max_size));
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+} // namespace exa

@@ -1,0 +1,27 @@
+#include "core/executor.hpp"
+
+namespace exa {
+
+Backend ExecConfig::s_backend = Backend::Serial;
+IntVect ExecConfig::s_tile_size = IntVect{1024000, 8, 8};
+LaunchHook ExecConfig::s_hook;
+int ExecConfig::s_num_streams = 4;
+int ExecConfig::s_current_stream = 0;
+
+const char* backendName(Backend b) {
+    switch (b) {
+        case Backend::Serial: return "serial";
+        case Backend::OpenMP: return "openmp";
+        case Backend::SimGpu: return "simgpu";
+    }
+    return "unknown";
+}
+
+void ExecConfig::setLaunchHook(LaunchHook h) { s_hook = std::move(h); }
+void ExecConfig::clearLaunchHook() { s_hook = nullptr; }
+
+void ExecConfig::notifyLaunch(const LaunchRecord& r) {
+    if (s_hook) s_hook(r);
+}
+
+} // namespace exa

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <ostream>
+
+namespace exa {
+
+// A triple of integers indexing logical (zone) space. ExaStro, like the
+// production codes at the time of the paper, treats all problems as
+// three-dimensional; 2-D problems use a single zone in z.
+struct IntVect {
+    int x = 0, y = 0, z = 0;
+
+    constexpr IntVect() = default;
+    constexpr IntVect(int i, int j, int k) : x(i), y(j), z(k) {}
+    constexpr explicit IntVect(int i) : x(i), y(i), z(i) {}
+
+    constexpr int operator[](int d) const { return d == 0 ? x : (d == 1 ? y : z); }
+    int& operator[](int d) { return d == 0 ? x : (d == 1 ? y : z); }
+
+    constexpr bool operator==(const IntVect&) const = default;
+
+    constexpr IntVect operator+(const IntVect& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr IntVect operator-(const IntVect& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr IntVect operator*(int s) const { return {x * s, y * s, z * s}; }
+    constexpr IntVect operator-() const { return {-x, -y, -z}; }
+
+    IntVect& operator+=(const IntVect& o) { x += o.x; y += o.y; z += o.z; return *this; }
+    IntVect& operator-=(const IntVect& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+
+    // True if every component of *this is <= / >= the corresponding
+    // component of o (partial order on index space).
+    constexpr bool allLE(const IntVect& o) const { return x <= o.x && y <= o.y && z <= o.z; }
+    constexpr bool allGE(const IntVect& o) const { return x >= o.x && y >= o.y && z >= o.z; }
+
+    constexpr int max() const { return std::max({x, y, z}); }
+    constexpr int min() const { return std::min({x, y, z}); }
+
+    static constexpr IntVect zero() { return {0, 0, 0}; }
+    static constexpr IntVect unit() { return {1, 1, 1}; }
+
+    // Basis vector along dimension d.
+    static constexpr IntVect basis(int d) {
+        return {d == 0 ? 1 : 0, d == 1 ? 1 : 0, d == 2 ? 1 : 0};
+    }
+};
+
+inline constexpr IntVect min(const IntVect& a, const IntVect& b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+inline constexpr IntVect max(const IntVect& a, const IntVect& b) {
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+// Coordinate-wise floor division that rounds toward negative infinity,
+// which is what index-space coarsening requires for negative indices.
+inline constexpr int coarsen_index(int i, int ratio) {
+    return i < 0 ? -((-i - 1) / ratio + 1) : i / ratio;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const IntVect& iv) {
+    return os << '(' << iv.x << ',' << iv.y << ',' << iv.z << ')';
+}
+
+// Plain-old-data index triple used inside kernels (mirrors amrex::Dim3).
+struct Dim3 {
+    int x = 0, y = 0, z = 0;
+};
+
+} // namespace exa

@@ -1,0 +1,234 @@
+#pragma once
+
+// The lambda-based ParallelFor abstraction — the centerpiece of the
+// paper's port. Application kernels define only the work at one zone
+// (i,j,k); the backend decides how index space maps to execution
+// resources:
+//
+//   * Serial  — triply-nested loop, k outermost (Fortran-friendly order).
+//   * OpenMP  — `omp parallel for` over the k (or flattened k*j) range.
+//   * SimGpu  — identical arithmetic to Serial (so results are
+//               bit-reproducible across backends), plus a LaunchRecord
+//               sent to the device model, which charges modeled GPU time.
+//
+// Correctness contract (same as a real GPU launch): the body must be safe
+// to run for all zones concurrently — it may write only to locations
+// keyed by its own (i,j,k[,n]).
+
+#include "core/box.hpp"
+#include "core/executor.hpp"
+#include "core/real.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace exa {
+
+namespace detail {
+
+template <typename F>
+inline void serial_for(const Box& box, F&& f) {
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+    for (int k = lo.z; k <= hi.z; ++k)
+        for (int j = lo.y; j <= hi.y; ++j)
+            for (int i = lo.x; i <= hi.x; ++i)
+                f(i, j, k);
+}
+
+template <typename F>
+inline void serial_for(const Box& box, int ncomp, F&& f) {
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+    for (int n = 0; n < ncomp; ++n)
+        for (int k = lo.z; k <= hi.z; ++k)
+            for (int j = lo.y; j <= hi.y; ++j)
+                for (int i = lo.x; i <= hi.x; ++i)
+                    f(i, j, k, n);
+}
+
+template <typename F>
+inline void omp_for(const Box& box, F&& f) {
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+#if defined(EXA_USE_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (int k = lo.z; k <= hi.z; ++k)
+        for (int j = lo.y; j <= hi.y; ++j)
+            for (int i = lo.x; i <= hi.x; ++i)
+                f(i, j, k);
+}
+
+template <typename F>
+inline void omp_for(const Box& box, int ncomp, F&& f) {
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+#if defined(EXA_USE_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+    for (int k = lo.z; k <= hi.z; ++k)
+        for (int j = lo.y; j <= hi.y; ++j)
+            for (int n = 0; n < ncomp; ++n)
+                for (int i = lo.x; i <= hi.x; ++i)
+                    f(i, j, k, n);
+}
+
+inline void record_launch(const KernelInfo& ki, std::int64_t zones, int ncomp) {
+    LaunchRecord r;
+    r.info = ki;
+    r.zones = zones;
+    r.ncomp = ncomp;
+    r.stream = ExecConfig::currentStream();
+    ExecConfig::notifyLaunch(r);
+}
+
+} // namespace detail
+
+// --- ParallelFor over the zones of a box -------------------------------
+
+template <typename F>
+void ParallelFor(const KernelInfo& ki, const Box& box, F&& f) {
+    if (!box.ok()) return;
+    switch (ExecConfig::backend()) {
+        case Backend::Serial:
+            detail::serial_for(box, std::forward<F>(f));
+            break;
+        case Backend::OpenMP:
+            detail::omp_for(box, std::forward<F>(f));
+            break;
+        case Backend::SimGpu:
+            detail::record_launch(ki, box.numPts(), 1);
+            detail::serial_for(box, std::forward<F>(f));
+            break;
+    }
+}
+
+template <typename F>
+void ParallelFor(const Box& box, F&& f) {
+    ParallelFor(KernelInfo{}, box, std::forward<F>(f));
+}
+
+// --- ParallelFor over zones x components --------------------------------
+
+template <typename F>
+void ParallelFor(const KernelInfo& ki, const Box& box, int ncomp, F&& f) {
+    if (!box.ok() || ncomp <= 0) return;
+    switch (ExecConfig::backend()) {
+        case Backend::Serial:
+            detail::serial_for(box, ncomp, std::forward<F>(f));
+            break;
+        case Backend::OpenMP:
+            detail::omp_for(box, ncomp, std::forward<F>(f));
+            break;
+        case Backend::SimGpu:
+            detail::record_launch(ki, box.numPts(), ncomp);
+            detail::serial_for(box, ncomp, std::forward<F>(f));
+            break;
+    }
+}
+
+template <typename F>
+void ParallelFor(const Box& box, int ncomp, F&& f) {
+    ParallelFor(KernelInfo{}, box, ncomp, std::forward<F>(f));
+}
+
+// --- 1-D ParallelFor -----------------------------------------------------
+
+template <typename F>
+void ParallelFor(const KernelInfo& ki, std::int64_t n, F&& f) {
+    if (n <= 0) return;
+    if (ExecConfig::backend() == Backend::SimGpu) {
+        detail::record_launch(ki, n, 1);
+    }
+#if defined(EXA_USE_OPENMP)
+    if (ExecConfig::backend() == Backend::OpenMP) {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t i = 0; i < n; ++i) f(i);
+        return;
+    }
+#endif
+    for (std::int64_t i = 0; i < n; ++i) f(i);
+}
+
+template <typename F>
+void ParallelFor(std::int64_t n, F&& f) {
+    ParallelFor(KernelInfo{}, n, std::forward<F>(f));
+}
+
+// --- Reductions ----------------------------------------------------------
+//
+// Reductions are launches too (the device model charges them), but the
+// accumulation order is fixed (serial zone order) on every backend except
+// OpenMP so results stay deterministic.
+
+template <typename F>
+Real ParallelReduceSum(const KernelInfo& ki, const Box& box, F&& f) {
+    if (!box.ok()) return 0.0;
+    if (ExecConfig::backend() == Backend::SimGpu) {
+        detail::record_launch(ki, box.numPts(), 1);
+    }
+    Real s = 0.0;
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+#if defined(EXA_USE_OPENMP)
+    if (ExecConfig::backend() == Backend::OpenMP) {
+#pragma omp parallel for collapse(2) reduction(+ : s) schedule(static)
+        for (int k = lo.z; k <= hi.z; ++k)
+            for (int j = lo.y; j <= hi.y; ++j)
+                for (int i = lo.x; i <= hi.x; ++i)
+                    s += f(i, j, k);
+        return s;
+    }
+#endif
+    for (int k = lo.z; k <= hi.z; ++k)
+        for (int j = lo.y; j <= hi.y; ++j)
+            for (int i = lo.x; i <= hi.x; ++i)
+                s += f(i, j, k);
+    return s;
+}
+
+template <typename F>
+Real ParallelReduceSum(const Box& box, F&& f) {
+    return ParallelReduceSum(KernelInfo{"reduce_sum", 1, 8, 32, 1.0}, box,
+                             std::forward<F>(f));
+}
+
+template <typename F>
+Real ParallelReduceMax(const KernelInfo& ki, const Box& box, F&& f) {
+    if (!box.ok()) return -1.0e300;
+    if (ExecConfig::backend() == Backend::SimGpu) {
+        detail::record_launch(ki, box.numPts(), 1);
+    }
+    Real m = -1.0e300;
+    const Dim3 lo = box.loDim3();
+    const Dim3 hi = box.hiDim3();
+#if defined(EXA_USE_OPENMP)
+    if (ExecConfig::backend() == Backend::OpenMP) {
+#pragma omp parallel for collapse(2) reduction(max : m) schedule(static)
+        for (int k = lo.z; k <= hi.z; ++k)
+            for (int j = lo.y; j <= hi.y; ++j)
+                for (int i = lo.x; i <= hi.x; ++i)
+                    m = std::max(m, f(i, j, k));
+        return m;
+    }
+#endif
+    for (int k = lo.z; k <= hi.z; ++k)
+        for (int j = lo.y; j <= hi.y; ++j)
+            for (int i = lo.x; i <= hi.x; ++i)
+                m = std::max(m, f(i, j, k));
+    return m;
+}
+
+template <typename F>
+Real ParallelReduceMax(const Box& box, F&& f) {
+    return ParallelReduceMax(KernelInfo{"reduce_max", 1, 8, 32, 1.0}, box,
+                             std::forward<F>(f));
+}
+
+template <typename F>
+Real ParallelReduceMin(const Box& box, F&& f) {
+    return -ParallelReduceMax(box, [&](int i, int j, int k) { return -f(i, j, k); });
+}
+
+} // namespace exa

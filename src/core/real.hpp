@@ -1,0 +1,36 @@
+#pragma once
+
+// Fundamental scalar type and numeric constants for ExaStro.
+//
+// Production Castro/MAESTROeX run in double precision; so do we. The
+// EXA_HOST_DEVICE markers are documentation of which functions would be
+// compiled for the device in a real CUDA/HIP build; in this reproduction
+// all code runs on the host and the macro expands to nothing.
+
+#define EXA_HOST_DEVICE
+#define EXA_FORCE_INLINE inline __attribute__((always_inline))
+
+namespace exa {
+
+using Real = double;
+
+inline constexpr Real operator"" _rt(long double v) { return static_cast<Real>(v); }
+inline constexpr Real operator"" _rt(unsigned long long v) { return static_cast<Real>(v); }
+
+namespace constants {
+// CGS physical constants, as used throughout the astrophysics stack.
+inline constexpr Real pi          = 3.14159265358979323846_rt;
+inline constexpr Real G_newton    = 6.67430e-8_rt;    // gravitational constant [cm^3 g^-1 s^-2]
+inline constexpr Real k_B         = 1.380649e-16_rt;  // Boltzmann constant [erg/K]
+inline constexpr Real N_A         = 6.02214076e23_rt; // Avogadro's number [1/mol]
+inline constexpr Real h_planck    = 6.62607015e-27_rt;// Planck constant [erg s]
+inline constexpr Real m_e         = 9.1093837015e-28_rt; // electron mass [g]
+inline constexpr Real m_u         = 1.66053906660e-24_rt; // atomic mass unit [g]
+inline constexpr Real c_light     = 2.99792458e10_rt; // speed of light [cm/s]
+inline constexpr Real sigma_SB    = 5.670374419e-5_rt; // Stefan-Boltzmann [erg cm^-2 s^-1 K^-4]
+inline constexpr Real a_rad       = 7.5657e-15_rt;    // radiation constant [erg cm^-3 K^-4]
+inline constexpr Real MeV_to_erg  = 1.60218e-6_rt;    // MeV in erg
+inline constexpr Real M_sun       = 1.98892e33_rt;    // solar mass [g]
+} // namespace constants
+
+} // namespace exa

@@ -1,0 +1,25 @@
+#include "core/timer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace exa {
+
+TimerRegistry& TimerRegistry::instance() {
+    static TimerRegistry reg;
+    return reg;
+}
+
+std::string TimerRegistry::report() const {
+    std::ostringstream os;
+    os << std::left << std::setw(32) << "region" << std::right << std::setw(14)
+       << "seconds" << std::setw(10) << "calls" << '\n';
+    for (const auto& [name, e] : m_entries) {
+        os << std::left << std::setw(32) << name << std::right << std::setw(14)
+           << std::fixed << std::setprecision(6) << e.seconds << std::setw(10)
+           << e.calls << '\n';
+    }
+    return os.str();
+}
+
+} // namespace exa

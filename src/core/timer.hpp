@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exa {
+
+// Simple wall-clock stopwatch.
+class WallTimer {
+public:
+    WallTimer() { start(); }
+    void start() { m_t0 = clock::now(); }
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - m_t0).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point m_t0;
+};
+
+// Named accumulating timers, in the spirit of AMReX's TinyProfiler. Apps
+// bracket regions with TimerRegion and the report prints inclusive time
+// and call counts. This is how the benches split, e.g., multigrid time
+// from nuclear-burning time (the Fig. 3 discussion).
+class TimerRegistry {
+public:
+    static TimerRegistry& instance();
+
+    void add(const std::string& name, double seconds) {
+        auto& e = m_entries[name];
+        e.seconds += seconds;
+        ++e.calls;
+    }
+
+    double seconds(const std::string& name) const {
+        auto it = m_entries.find(name);
+        return it == m_entries.end() ? 0.0 : it->second.seconds;
+    }
+    std::uint64_t calls(const std::string& name) const {
+        auto it = m_entries.find(name);
+        return it == m_entries.end() ? 0 : it->second.calls;
+    }
+
+    void reset() { m_entries.clear(); }
+
+    std::string report() const;
+
+private:
+    struct Entry {
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+    std::map<std::string, Entry> m_entries;
+};
+
+// RAII region timer: accumulates elapsed wall time into the registry.
+class TimerRegion {
+public:
+    explicit TimerRegion(std::string name) : m_name(std::move(name)) {}
+    ~TimerRegion() { TimerRegistry::instance().add(m_name, m_timer.seconds()); }
+    TimerRegion(const TimerRegion&) = delete;
+    TimerRegion& operator=(const TimerRegion&) = delete;
+
+private:
+    std::string m_name;
+    WallTimer m_timer;
+};
+
+} // namespace exa

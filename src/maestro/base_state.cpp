@@ -1,0 +1,60 @@
+#include "maestro/base_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa::maestro {
+
+namespace {
+// Invert p(rho) at fixed T by Newton (dpdr from the EOS).
+Real rhoOfP(const Eos& eos, Real p_target, Real T, Real abar, Real ye,
+            Real rho_guess) {
+    Real rho = rho_guess;
+    for (int it = 0; it < 80; ++it) {
+        EosState s;
+        s.rho = rho;
+        s.T = T;
+        s.abar = abar;
+        s.ye = ye;
+        eos.rhoT(s);
+        const Real drho = (p_target - s.p) / std::max(s.dpdr, Real(1.0e-30));
+        rho += std::clamp(drho, -0.5 * rho, 0.5 * rho);
+        if (std::abs(drho) < 1.0e-13 * rho) break;
+    }
+    return rho;
+}
+} // namespace
+
+BaseState::BaseState(const Eos& eos, const ReactionNetwork& net, Real rho_bottom,
+                     Real T_iso, const std::vector<Real>& X, int nzones, Real /*zlo*/,
+                     Real dz, Real gravity)
+    : m_X(X), m_g(gravity) {
+    m_abar = net.abar(X.data());
+    m_ye = net.ye(X.data());
+    m_rho0.resize(nzones);
+    m_p0.resize(nzones);
+    m_T0.assign(nzones, T_iso);
+
+    EosState s;
+    s.rho = rho_bottom;
+    s.T = T_iso;
+    s.abar = m_abar;
+    s.ye = m_ye;
+    eos.rhoT(s);
+    m_rho0[0] = rho_bottom;
+    m_p0[0] = s.p;
+    for (int k = 1; k < nzones; ++k) {
+        // Midpoint HSE: p(k) = p(k-1) + g * rho_mid * dz.
+        Real rho_mid = m_rho0[k - 1];
+        Real p_new = m_p0[k - 1] + m_g * rho_mid * dz;
+        // One fixed-point refinement with the midpoint density.
+        const Real rho_up = rhoOfP(eos, std::max(p_new, Real(1.0e-30)), T_iso,
+                                   m_abar, m_ye, m_rho0[k - 1]);
+        rho_mid = 0.5 * (m_rho0[k - 1] + rho_up);
+        p_new = m_p0[k - 1] + m_g * rho_mid * dz;
+        m_p0[k] = std::max(p_new, Real(1.0e-30));
+        m_rho0[k] = rhoOfP(eos, m_p0[k], T_iso, m_abar, m_ye, m_rho0[k - 1]);
+    }
+}
+
+} // namespace exa::maestro

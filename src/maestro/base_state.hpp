@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/real.hpp"
+#include "microphysics/eos.hpp"
+#include "microphysics/network.hpp"
+
+#include <vector>
+
+namespace exa::maestro {
+
+// The one-dimensional hydrostatic base state underpinning the low Mach
+// number expansion: p0(z), rho0(z), T0(z) with dp0/dz = -rho0 g. In
+// MAESTROeX this is the star's radial structure; for the reacting-bubble
+// problem (Section IV-B) it is a plane-parallel white-dwarf-interior
+// atmosphere.
+class BaseState {
+public:
+    // Build an isothermal hydrostatic atmosphere of composition X from a
+    // base density rho_bottom at z = zlo, integrating upward nz zones of
+    // height dz under constant gravity g (g < 0 points down).
+    BaseState(const Eos& eos, const ReactionNetwork& net, Real rho_bottom,
+              Real T_iso, const std::vector<Real>& X, int nz, Real zlo, Real dz,
+              Real gravity);
+
+    int nz() const { return static_cast<int>(m_rho0.size()); }
+    Real gravity() const { return m_g; }
+
+    // Zone-centered base-state values by z index.
+    Real rho0(int k) const { return m_rho0[clampIdx(k)]; }
+    Real p0(int k) const { return m_p0[clampIdx(k)]; }
+    Real T0(int k) const { return m_T0[clampIdx(k)]; }
+
+    const std::vector<Real>& X() const { return m_X; }
+    Real abar() const { return m_abar; }
+    Real ye() const { return m_ye; }
+
+private:
+    int clampIdx(int k) const {
+        return std::max(0, std::min(k, nz() - 1));
+    }
+
+    std::vector<Real> m_rho0, m_p0, m_T0;
+    std::vector<Real> m_X;
+    Real m_abar = 1.0, m_ye = 0.5;
+    Real m_g = 0.0;
+};
+
+} // namespace exa::maestro

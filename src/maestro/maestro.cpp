@@ -1,0 +1,392 @@
+#include "maestro/maestro.hpp"
+
+#include "core/parallel_for.hpp"
+#include "core/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa::maestro {
+
+namespace {
+
+// MC-limited slope (local copy of the hydro limiter, on maestro state).
+EXA_FORCE_INLINE Real mcSlope(Array4<const Real> q, int i, int j, int k, int n,
+                              int d) {
+    const IntVect e = IntVect::basis(d);
+    const Real dl = q(i, j, k, n) - q(i - e.x, j - e.y, k - e.z, n);
+    const Real dr = q(i + e.x, j + e.y, k + e.z, n) - q(i, j, k, n);
+    if (dl * dr <= 0.0) return 0.0;
+    const Real dc = 0.5 * (dl + dr);
+    const Real lim = 2.0 * std::min(std::abs(dl), std::abs(dr));
+    return std::copysign(std::min(std::abs(dc), lim), dc);
+}
+
+} // namespace
+
+Maestro::Maestro(const Geometry& geom, const BoxArray& ba,
+                 const DistributionMapping& dm, const ReactionNetwork& net,
+                 const Eos& eos, const BaseState& base, const MaestroOptions& opt)
+    : m_geom(geom),
+      m_net(net),
+      m_eos(eos),
+      m_base(base),
+      m_opt(opt),
+      m_layout(net.nspec()),
+      m_state(ba, dm, m_layout.ncomp(), opt.ngrow) {
+    m_state.setVal(0.0);
+    m_mg = std::make_unique<Multigrid>(geom, MgBC::Neumann, opt.mg);
+    m_phi.define(ba, dm, 1, 1);
+    m_phi.setVal(0.0);
+    m_divu.define(ba, dm, 1, 0);
+}
+
+void Maestro::initialize(const InitFn& f) {
+    const int nspec = m_net.nspec();
+    std::vector<Real> X(nspec);
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    Real T = m_base.T0(k);
+                    X.assign(m_base.X().begin(), m_base.X().end());
+                    f(m_geom.cellCenter(0, i), m_geom.cellCenter(1, j),
+                      m_geom.cellCenter(2, k), T, X);
+                    q(i, j, k, MaestroLayout::QT) = T;
+                    for (int n = 0; n < nspec; ++n) {
+                        q(i, j, k, MaestroLayout::QFS + n) = X[n];
+                    }
+                }
+    }
+}
+
+Real Maestro::rhoOf(int kzone, Real T, const Real* X) const {
+    const Real abar = m_net.abar(X);
+    const Real ye = m_net.ye(X);
+    return rhoFromPT(m_eos, m_base.p0(kzone), T, abar, ye, m_base.rho0(kzone));
+}
+
+void Maestro::fillGhosts(MultiFab& s) {
+    s.FillBoundary(m_geom.periodicity());
+    DomainBC bc;
+    bc.set(0, 0, m_geom.isPeriodic(0) ? PhysBC::Periodic : PhysBC::Outflow);
+    bc.set(0, 1, m_geom.isPeriodic(0) ? PhysBC::Periodic : PhysBC::Outflow);
+    bc.set(1, 0, m_geom.isPeriodic(1) ? PhysBC::Periodic : PhysBC::Outflow);
+    bc.set(1, 1, m_geom.isPeriodic(1) ? PhysBC::Periodic : PhysBC::Outflow);
+    bc.set(2, 0, PhysBC::Reflect); // slip walls top and bottom
+    bc.set(2, 1, PhysBC::Reflect);
+    std::array<std::vector<int>, 3> odd;
+    odd[2] = {MaestroLayout::QW};
+    fillPhysicalBoundary(s, m_geom, bc, odd);
+}
+
+Real Maestro::estimateDt() const {
+    // Advective CFL (no sound speed — the low Mach advantage) plus a
+    // buoyancy limit so the first steps (U = 0) are finite.
+    Real umax = 0.0;
+    Real amax = 1.0e-30;
+    const int nspec = m_net.nspec();
+    std::vector<Real> X(nspec);
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.const_array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    for (int d = 0; d < 3; ++d) {
+                        umax = std::max(umax, std::abs(q(i, j, k, d)));
+                    }
+                    for (int n = 0; n < nspec; ++n) {
+                        X[n] = q(i, j, k, MaestroLayout::QFS + n);
+                    }
+                    const Real rho =
+                        rhoOf(k, q(i, j, k, MaestroLayout::QT), X.data());
+                    const Real buoy = std::abs(m_base.gravity()) *
+                                      std::abs(rho - m_base.rho0(k)) /
+                                      m_base.rho0(k);
+                    amax = std::max(amax, buoy);
+                }
+    }
+    const Real dx = m_geom.cellSize(0);
+    Real dt = 1.0e30;
+    if (umax > 0.0) dt = std::min(dt, m_opt.cfl * dx / umax);
+    dt = std::min(dt, std::sqrt(2.0 * m_opt.cfl * dx / amax));
+    return dt;
+}
+
+void Maestro::advect(Real dt) {
+    TimerRegion timer("maestro::advect");
+    const int nc = m_layout.ncomp();
+    MultiFab snew(m_state.boxArray(), m_state.distributionMap(), nc, m_state.nGrow());
+    fillGhosts(m_state);
+    MultiFab::Copy(snew, m_state, 0, 0, nc, 0);
+
+    const Real dxi[3] = {1.0 / m_geom.cellSize(0), 1.0 / m_geom.cellSize(1),
+                         1.0 / m_geom.cellSize(2)};
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.const_array(static_cast<int>(b));
+        auto qn = snew.array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        ParallelFor(KernelInfo{"maestro_advect", 300.0, 200.0, 96, 1.0}, vb, nc,
+                    [=](int i, int j, int k, int n) {
+                        Real dq = 0.0;
+                        for (int d = 0; d < 3; ++d) {
+                            const IntVect e = IntVect::basis(d);
+                            // Face velocities (average of adjacent zones).
+                            const Real ulo = 0.5 * (q(i - e.x, j - e.y, k - e.z, d) +
+                                                    q(i, j, k, d));
+                            const Real uhi = 0.5 * (q(i, j, k, d) +
+                                                    q(i + e.x, j + e.y, k + e.z, d));
+                            // Upwind MC-reconstructed face states.
+                            auto face = [&](int ii, int jj, int kk, Real uf) {
+                                // face between (ii,jj,kk)-e and (ii,jj,kk)
+                                if (uf >= 0.0) {
+                                    return q(ii - e.x, jj - e.y, kk - e.z, n) +
+                                           0.5 * mcSlope(q, ii - e.x, jj - e.y,
+                                                         kk - e.z, n, d);
+                                }
+                                return q(ii, jj, kk, n) -
+                                       0.5 * mcSlope(q, ii, jj, kk, n, d);
+                            };
+                            const Real qlo = face(i, j, k, ulo);
+                            const Real qhi =
+                                face(i + e.x, j + e.y, k + e.z, uhi);
+                            // Advective (convective) form: U . grad q,
+                            // using flux difference minus q div(U) so a
+                            // constant field is exactly preserved.
+                            dq += (uhi * qhi - ulo * qlo -
+                                   q(i, j, k, n) * (uhi - ulo)) *
+                                  dxi[d];
+                        }
+                        qn(i, j, k, n) = q(i, j, k, n) - dt * dq;
+                    });
+    }
+    m_state = std::move(snew);
+}
+
+void Maestro::buoyancy(Real dt) {
+    TimerRegion timer("maestro::buoyancy");
+    const int nspec = m_net.nspec();
+    const Real g = m_base.gravity();
+    std::vector<Real> X(nspec);
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    for (int n = 0; n < nspec; ++n) {
+                        X[n] = q(i, j, k, MaestroLayout::QFS + n);
+                    }
+                    const Real rho =
+                        rhoOf(k, q(i, j, k, MaestroLayout::QT), X.data());
+                    q(i, j, k, MaestroLayout::QW) +=
+                        dt * g * (rho - m_base.rho0(k)) / m_base.rho0(k);
+                }
+    }
+}
+
+BurnGridStats Maestro::react(Real dt) {
+    TimerRegion timer("maestro::react");
+    BurnGridStats stats;
+    const int nspec = m_net.nspec();
+    std::vector<Real> X(nspec);
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        std::int64_t fab_steps = 0, fab_zones = 0, fab_max = 0;
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    ++fab_zones;
+                    const Real T = q(i, j, k, MaestroLayout::QT);
+                    if (T < m_opt.react.T_min) {
+                        ++fab_steps;
+                        fab_max = std::max<std::int64_t>(fab_max, 1);
+                        continue;
+                    }
+                    for (int n = 0; n < nspec; ++n) {
+                        X[n] = std::clamp(q(i, j, k, MaestroLayout::QFS + n),
+                                          Real(0), Real(1));
+                    }
+                    const Real rho = rhoOf(k, T, X.data());
+                    auto r = burnZone(m_net, m_eos, rho, T, X.data(), dt,
+                                      m_opt.react.ode);
+                    if (r.success) {
+                        q(i, j, k, MaestroLayout::QT) = r.T;
+                        for (int n = 0; n < nspec; ++n) {
+                            q(i, j, k, MaestroLayout::QFS + n) = r.X[n];
+                        }
+                    } else {
+                        ++stats.failures;
+                    }
+                    const std::int64_t st = std::max<std::int64_t>(r.stats.steps, 1);
+                    fab_steps += st;
+                    fab_max = std::max(fab_max, st);
+                }
+        stats.zones += fab_zones;
+        stats.total_steps += fab_steps;
+        stats.max_steps = std::max(stats.max_steps, fab_max);
+        if (ExecConfig::backend() == Backend::SimGpu && fab_zones > 0) {
+            const double mean = static_cast<double>(fab_steps) / fab_zones;
+            LaunchRecord rec;
+            rec.info = burnKernelInfo(nspec, std::max(mean, 1.0),
+                                      fab_max / std::max(mean, 1.0));
+            rec.zones = fab_zones;
+            rec.stream = ExecConfig::currentStream();
+            ExecConfig::notifyLaunch(rec);
+        }
+    }
+    return stats;
+}
+
+void Maestro::project() {
+    TimerRegion timer("maestro::projection");
+    fillGhosts(m_state);
+    const Real dxi[3] = {1.0 / m_geom.cellSize(0), 1.0 / m_geom.cellSize(1),
+                         1.0 / m_geom.cellSize(2)};
+    // divu = div U (central differences).
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.const_array(static_cast<int>(b));
+        auto d = m_divu.array(static_cast<int>(b));
+        ParallelFor(KernelInfo{"maestro_divu", 20.0, 80.0, 40, 1.0},
+                    m_divu.box(static_cast<int>(b)), [=](int i, int j, int k) {
+                        d(i, j, k) =
+                            0.5 * (q(i + 1, j, k, 0) - q(i - 1, j, k, 0)) * dxi[0] +
+                            0.5 * (q(i, j + 1, k, 1) - q(i, j - 1, k, 1)) * dxi[1] +
+                            0.5 * (q(i, j, k + 1, 2) - q(i, j, k - 1, 2)) * dxi[2];
+                    });
+    }
+    auto res = m_mg->solve(m_phi, m_divu);
+    m_last_vcycles = res.vcycles;
+
+    // U -= grad phi (same central stencil: an approximate projection).
+    m_phi.FillBoundary(m_geom.periodicity());
+    // Neumann ghosts at the z walls.
+    for (std::size_t b = 0; b < m_phi.size(); ++b) {
+        auto p = m_phi.array(static_cast<int>(b));
+        const Box& vb = m_phi.box(static_cast<int>(b));
+        const Box& dom = m_geom.domain();
+        if (vb.smallEnd(2) == dom.smallEnd(2)) {
+            const int k0 = dom.smallEnd(2);
+            ParallelFor(Box({vb.smallEnd(0) - 1, vb.smallEnd(1) - 1, k0 - 1},
+                            {vb.bigEnd(0) + 1, vb.bigEnd(1) + 1, k0 - 1}),
+                        [=](int i, int j, int k) {
+                            if (p.contains(i, j, k)) p(i, j, k) = p(i, j, k0);
+                        });
+        }
+        if (vb.bigEnd(2) == dom.bigEnd(2)) {
+            const int k1 = dom.bigEnd(2);
+            ParallelFor(Box({vb.smallEnd(0) - 1, vb.smallEnd(1) - 1, k1 + 1},
+                            {vb.bigEnd(0) + 1, vb.bigEnd(1) + 1, k1 + 1}),
+                        [=](int i, int j, int k) {
+                            if (p.contains(i, j, k)) p(i, j, k) = p(i, j, k1);
+                        });
+        }
+    }
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.array(static_cast<int>(b));
+        auto p = m_phi.const_array(static_cast<int>(b));
+        ParallelFor(KernelInfo{"maestro_proj_correct", 30.0, 100.0, 48, 1.0},
+                    m_state.box(static_cast<int>(b)), [=](int i, int j, int k) {
+                        q(i, j, k, 0) -=
+                            0.5 * (p(i + 1, j, k) - p(i - 1, j, k)) * dxi[0];
+                        q(i, j, k, 1) -=
+                            0.5 * (p(i, j + 1, k) - p(i, j - 1, k)) * dxi[1];
+                        q(i, j, k, 2) -=
+                            0.5 * (p(i, j, k + 1) - p(i, j, k - 1)) * dxi[2];
+                    });
+    }
+}
+
+Real Maestro::maxAbsDivergence() {
+    fillGhosts(m_state);
+    const Real dxi[3] = {1.0 / m_geom.cellSize(0), 1.0 / m_geom.cellSize(1),
+                         1.0 / m_geom.cellSize(2)};
+    Real mx = 0.0;
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.const_array(static_cast<int>(b));
+        mx = std::max(
+            mx, ParallelReduceMax(m_state.box(static_cast<int>(b)),
+                                  [=](int i, int j, int k) {
+                                      return std::abs(
+                                          0.5 * (q(i + 1, j, k, 0) - q(i - 1, j, k, 0)) *
+                                              dxi[0] +
+                                          0.5 * (q(i, j + 1, k, 1) - q(i, j - 1, k, 1)) *
+                                              dxi[1] +
+                                          0.5 * (q(i, j, k + 1, 2) - q(i, j, k - 1, 2)) *
+                                              dxi[2]);
+                                  }));
+    }
+    return mx;
+}
+
+BurnGridStats Maestro::step(Real dt) {
+    advect(dt);
+    buoyancy(dt);
+    BurnGridStats burn;
+    if (m_opt.do_react) burn = react(dt);
+    if (m_opt.proj_interval > 0 && (m_nstep + 1) % m_opt.proj_interval == 0) {
+        project();
+    }
+    m_time += dt;
+    ++m_nstep;
+    return burn;
+}
+
+Real Maestro::bubbleHeight() const {
+    Real wsum = 0.0, zsum = 0.0;
+    for (std::size_t b = 0; b < m_state.size(); ++b) {
+        auto q = m_state.const_array(static_cast<int>(b));
+        const Box& vb = m_state.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    const Real dT = q(i, j, k, MaestroLayout::QT) - m_base.T0(k);
+                    if (dT > 0.0) {
+                        wsum += dT;
+                        zsum += dT * m_geom.cellCenter(2, k);
+                    }
+                }
+    }
+    return wsum > 0 ? zsum / wsum : 0.0;
+}
+
+std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
+                                            const ReactionNetwork& net) {
+    Box dom({0, 0, 0}, {p.ncell - 1, p.ncell - 1, p.ncell - 1});
+    Geometry geom(dom, {0, 0, 0}, {p.domain_width, p.domain_width, p.domain_width},
+                  IntVect{1, 1, 0});
+    BoxArray ba(dom);
+    ba.maxSize(p.max_grid_size);
+    DistributionMapping dm(ba, p.nranks);
+
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X(net.nspec(), 0.0);
+    X[0] = 1.0; // pure fuel (c12 in ignition_simple)
+
+    BaseState base(eos, net, p.rho_base, p.T_base, X, p.ncell, 0.0,
+                   p.domain_width / p.ncell, p.gravity);
+
+    MaestroOptions opt;
+    opt.do_react = p.do_react;
+    opt.react.T_min = 1.0e8;
+
+    auto m = std::make_unique<Maestro>(geom, ba, dm, net, eos, base, opt);
+    const Real r_bub = p.bubble_radius_frac * p.domain_width;
+    const Real z_bub = p.bubble_height_frac * p.domain_width;
+    const Real xc = 0.5 * p.domain_width;
+    m->initialize([=](Real x, Real y, Real z, Real& T, std::vector<Real>& Xz) {
+        const Real r = std::sqrt((x - xc) * (x - xc) + (y - xc) * (y - xc) +
+                                 (z - z_bub) * (z - z_bub));
+        if (r < 2.0 * r_bub) {
+            T += (p.T_bubble - p.T_base) * std::exp(-(r * r) / (r_bub * r_bub));
+        }
+        (void)Xz;
+    });
+    return m;
+}
+
+} // namespace exa::maestro

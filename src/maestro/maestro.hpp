@@ -1,0 +1,120 @@
+#pragma once
+
+#include "castro/react.hpp"
+#include "maestro/base_state.hpp"
+#include "mesh/phys_bc.hpp"
+#include "solvers/multigrid.hpp"
+
+#include <memory>
+
+namespace exa::maestro {
+
+// Component layout of the MAESTRO-mini state: cell-centered velocity,
+// temperature, and mass fractions. Density is *derived* from the EOS at
+// the base-state pressure p0(z) — the defining low Mach number
+// constraint: acoustics are filtered, and the timestep is set by |U|, not
+// |U| + cs ("the former ... can take very large timesteps", Section II).
+struct MaestroLayout {
+    explicit MaestroLayout(int nspec_in) : nspec(nspec_in) {}
+    int nspec;
+    static constexpr int QU = 0;
+    static constexpr int QV = 1;
+    static constexpr int QW = 2; // vertical (z) velocity
+    static constexpr int QT = 3;
+    static constexpr int QFS = 4;
+    int ncomp() const { return QFS + nspec; }
+};
+
+struct MaestroOptions {
+    Real cfl = 0.5;
+    int ngrow = 2;
+    int proj_interval = 1; // project every step
+    castro::ReactOptions react; // reuses the Castro burn driver options
+    bool do_react = true;
+    Multigrid::Options mg;
+};
+
+// The low Mach number solver: advection (MC-limited upwind), buoyancy
+// against the hydrostatic base state, nuclear reactions, and an
+// approximate cell-centered projection (multigrid Poisson solve — the
+// globally coupled step whose communication dominates the Fig. 3 weak
+// scaling).
+class Maestro {
+public:
+    Maestro(const Geometry& geom, const BoxArray& ba, const DistributionMapping& dm,
+            const ReactionNetwork& net, const Eos& eos, const BaseState& base,
+            const MaestroOptions& opt);
+
+    MultiFab& state() { return m_state; }
+    const MultiFab& state() const { return m_state; }
+    const Geometry& geom() const { return m_geom; }
+    const BaseState& base() const { return m_base; }
+
+    // Initialize T and X per zone (velocity starts at rest).
+    using InitFn = std::function<void(Real x, Real y, Real z, Real& T,
+                                      std::vector<Real>& X)>;
+    void initialize(const InitFn& f);
+
+    // Advective + buoyancy timestep (no sound speed!).
+    Real estimateDt() const;
+
+    // One step: advect, buoyancy, react, project. Returns burn stats.
+    BurnGridStats step(Real dt);
+
+    Real time() const { return m_time; }
+    int stepCount() const { return m_nstep; }
+
+    // EOS density at the base-state pressure for (k, T, X).
+    Real rhoOf(int kzone, Real T, const Real* X) const;
+
+    // Diagnostics.
+    Real maxAbsDivergence();     // max |div U| over the domain
+    Real maxTemperature() const { return m_state.max(MaestroLayout::QT); }
+    // z centroid of the positive temperature perturbation (bubble height).
+    Real bubbleHeight() const;
+    // Multigrid V-cycles used by the last projection.
+    int lastProjectionVcycles() const { return m_last_vcycles; }
+
+    void project(); // public for tests
+
+private:
+    void advect(Real dt);
+    void buoyancy(Real dt);
+    BurnGridStats react(Real dt);
+    void fillGhosts(MultiFab& s);
+
+    Geometry m_geom;
+    const ReactionNetwork& m_net;
+    Eos m_eos;
+    BaseState m_base;
+    MaestroOptions m_opt;
+    MaestroLayout m_layout;
+    MultiFab m_state;
+    std::unique_ptr<Multigrid> m_mg;
+    MultiFab m_phi, m_divu;
+    Real m_time = 0.0;
+    int m_nstep = 0;
+    int m_last_vcycles = 0;
+};
+
+// The Section IV-B reacting bubble: a hot spherical perturbation in a
+// plane-parallel WD-interior atmosphere, burning carbon and rising
+// buoyantly. N = 2 reacting nuclei, as in the paper.
+struct BubbleParams {
+    int ncell = 32;
+    int max_grid_size = 16;
+    int nranks = 1;
+    Real domain_width = 5.0e7;   // cm
+    Real rho_base = 2.6e9;       // g/cc at the bottom (WD interior)
+    Real T_base = 6.0e8;         // K
+    Real T_bubble = 9.0e8;       // K perturbation peak
+    Real bubble_radius_frac = 0.1;
+    Real bubble_height_frac = 0.35;
+    Real gravity = -1.5e10;      // cm/s^2
+    bool do_react = true;
+};
+
+std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
+                                            const ReactionNetwork& net);
+
+} // namespace exa::maestro

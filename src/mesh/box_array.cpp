@@ -1,0 +1,80 @@
+#include "mesh/box_array.hpp"
+
+#include <algorithm>
+
+namespace exa {
+
+BoxArray& BoxArray::maxSize(const IntVect& max_size) {
+    std::vector<Box> out;
+    for (const auto& b : m_boxes) {
+        auto pieces = chopDomain(b, max_size);
+        out.insert(out.end(), pieces.begin(), pieces.end());
+    }
+    m_boxes = std::move(out);
+    return *this;
+}
+
+std::int64_t BoxArray::numPts() const {
+    std::int64_t n = 0;
+    for (const auto& b : m_boxes) n += b.numPts();
+    return n;
+}
+
+Box BoxArray::minimalBox() const {
+    if (m_boxes.empty()) return Box{};
+    IntVect lo = m_boxes.front().smallEnd();
+    IntVect hi = m_boxes.front().bigEnd();
+    for (const auto& b : m_boxes) {
+        lo = min(lo, b.smallEnd());
+        hi = max(hi, b.bigEnd());
+    }
+    return Box(lo, hi);
+}
+
+BoxArray& BoxArray::refine(int ratio) {
+    for (auto& b : m_boxes) b.refine(ratio);
+    return *this;
+}
+
+BoxArray& BoxArray::coarsen(int ratio) {
+    for (auto& b : m_boxes) b.coarsen(ratio);
+    return *this;
+}
+
+bool BoxArray::contains(const Box& bx) const {
+    if (!bx.ok()) return true;
+    // bx is covered iff the intersection zone count equals |bx|; valid
+    // because our boxes are disjoint.
+    std::int64_t covered = 0;
+    for (const auto& b : m_boxes) covered += (b & bx).numPts();
+    return covered >= bx.numPts();
+}
+
+bool BoxArray::intersects(const Box& bx) const {
+    return std::any_of(m_boxes.begin(), m_boxes.end(),
+                       [&](const Box& b) { return b.intersects(bx); });
+}
+
+std::vector<std::pair<int, Box>> BoxArray::intersections(const Box& bx) const {
+    std::vector<std::pair<int, Box>> out;
+    for (std::size_t i = 0; i < m_boxes.size(); ++i) {
+        Box isect = m_boxes[i] & bx;
+        if (isect.ok()) out.emplace_back(static_cast<int>(i), isect);
+    }
+    return out;
+}
+
+bool BoxArray::isDisjoint() const {
+    for (std::size_t i = 0; i < m_boxes.size(); ++i) {
+        for (std::size_t j = i + 1; j < m_boxes.size(); ++j) {
+            if (m_boxes[i].intersects(m_boxes[j])) return false;
+        }
+    }
+    return true;
+}
+
+void BoxArray::join(const BoxArray& other) {
+    m_boxes.insert(m_boxes.end(), other.m_boxes.begin(), other.m_boxes.end());
+}
+
+} // namespace exa

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/box.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace exa {
+
+// An ordered collection of disjoint boxes at one level of refinement —
+// the mesh's unit of domain decomposition. Boxes are the quanta of work
+// distribution: an MPI rank owns whole boxes, and a GPU kernel is launched
+// per box. The paper's load-balancing discussion (6 ranks/node not
+// dividing 64 boxes) is entirely about this object.
+class BoxArray {
+public:
+    BoxArray() = default;
+    explicit BoxArray(const Box& single) : m_boxes{single} {}
+    explicit BoxArray(std::vector<Box> boxes) : m_boxes(std::move(boxes)) {}
+
+    // Chop every box so that no side exceeds max_size zones.
+    BoxArray& maxSize(const IntVect& max_size);
+    BoxArray& maxSize(int max_size) { return maxSize(IntVect(max_size)); }
+
+    std::size_t size() const { return m_boxes.size(); }
+    bool empty() const { return m_boxes.empty(); }
+    const Box& operator[](std::size_t i) const { return m_boxes[i]; }
+    const std::vector<Box>& boxes() const { return m_boxes; }
+
+    std::int64_t numPts() const;
+
+    // Smallest single box containing every box in the array.
+    Box minimalBox() const;
+
+    BoxArray& refine(int ratio);
+    BoxArray& coarsen(int ratio);
+
+    // True if bx is entirely covered by the union of our boxes.
+    bool contains(const Box& bx) const;
+    bool intersects(const Box& bx) const;
+
+    // All (box index, intersection) pairs overlapping bx.
+    std::vector<std::pair<int, Box>> intersections(const Box& bx) const;
+
+    // True if the boxes are pairwise disjoint (a well-formed level).
+    bool isDisjoint() const;
+
+    // Union with another array (no disjointness enforcement).
+    void join(const BoxArray& other);
+
+    bool operator==(const BoxArray&) const = default;
+
+private:
+    std::vector<Box> m_boxes;
+};
+
+} // namespace exa

@@ -1,0 +1,16 @@
+#include "mesh/comm_hooks.hpp"
+
+namespace exa {
+
+namespace {
+MessageHook g_hook;
+}
+
+void CommHooks::setMessageHook(MessageHook h) { g_hook = std::move(h); }
+void CommHooks::clearMessageHook() { g_hook = nullptr; }
+void CommHooks::notify(const MessageRecord& r) {
+    if (g_hook) g_hook(r);
+}
+bool CommHooks::active() { return static_cast<bool>(g_hook); }
+
+} // namespace exa

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace exa {
+
+// One message that would be an MPI send/recv pair in a distributed run.
+// The mesh layer reports these from the *same* intersection logic that
+// performs the actual (in-process) data motion, so message counts and
+// sizes are exact for the given BoxArray + DistributionMapping — only the
+// network's time-per-byte is modeled (in src/comm).
+struct MessageRecord {
+    int src_rank = 0;
+    int dst_rank = 0;
+    std::int64_t bytes = 0;
+    const char* tag = ""; // e.g. "fillboundary", "parallelcopy"
+};
+
+using MessageHook = std::function<void(const MessageRecord&)>;
+
+// Process-global sink for message records (mirrors ExecConfig's launch
+// hook). Registered by the comm/perf layer; cheap no-op when absent.
+class CommHooks {
+public:
+    static void setMessageHook(MessageHook h);
+    static void clearMessageHook();
+    static void notify(const MessageRecord& r);
+    static bool active();
+};
+
+} // namespace exa

@@ -1,0 +1,115 @@
+#include "mesh/distribution.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace exa {
+
+std::uint64_t mortonCode(int x, int y, int z) {
+    auto split = [](std::uint64_t v) {
+        // Spread the low 21 bits of v so they occupy every third bit.
+        v &= 0x1fffff;
+        v = (v | v << 32) & 0x1f00000000ffffULL;
+        v = (v | v << 16) & 0x1f0000ff0000ffULL;
+        v = (v | v << 8) & 0x100f00f00f00f00fULL;
+        v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+        v = (v | v << 2) & 0x1249249249249249ULL;
+        return v;
+    };
+    return split(static_cast<std::uint64_t>(std::max(x, 0))) |
+           (split(static_cast<std::uint64_t>(std::max(y, 0))) << 1) |
+           (split(static_cast<std::uint64_t>(std::max(z, 0))) << 2);
+}
+
+DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
+                                         Strategy strategy)
+    : m_nranks(std::max(1, nranks)) {
+    const std::size_t n = ba.size();
+    m_rank.assign(n, 0);
+    if (n == 0) return;
+
+    switch (strategy) {
+        case Strategy::RoundRobin: {
+            for (std::size_t i = 0; i < n; ++i) {
+                m_rank[i] = static_cast<int>(i % m_nranks);
+            }
+            break;
+        }
+        case Strategy::Sfc: {
+            // Order boxes along a Morton curve through their centers, then
+            // hand out contiguous chunks with approximately equal zones.
+            std::vector<std::size_t> order(n);
+            std::iota(order.begin(), order.end(), 0);
+            // Shift all centers to non-negative coordinates first.
+            const Box mb = ba.minimalBox();
+            std::vector<std::uint64_t> code(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const Box& b = ba[i];
+                int cx = (b.smallEnd(0) + b.bigEnd(0)) / 2 - mb.smallEnd(0);
+                int cy = (b.smallEnd(1) + b.bigEnd(1)) / 2 - mb.smallEnd(1);
+                int cz = (b.smallEnd(2) + b.bigEnd(2)) / 2 - mb.smallEnd(2);
+                code[i] = mortonCode(cx, cy, cz);
+            }
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) { return code[a] < code[b]; });
+            const std::int64_t total = ba.numPts();
+            const double per_rank = static_cast<double>(total) / m_nranks;
+            std::int64_t acc = 0;
+            int rank = 0;
+            for (std::size_t idx : order) {
+                // Advance rank when this rank has met its share, but never
+                // beyond the final rank.
+                while (rank < m_nranks - 1 &&
+                       static_cast<double>(acc) >= per_rank * (rank + 1)) {
+                    ++rank;
+                }
+                m_rank[idx] = rank;
+                acc += ba[idx].numPts();
+            }
+            break;
+        }
+        case Strategy::Knapsack: {
+            // Largest box first onto the least-loaded rank.
+            std::vector<std::size_t> order(n);
+            std::iota(order.begin(), order.end(), 0);
+            std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+                return ba[a].numPts() > ba[b].numPts();
+            });
+            using Load = std::pair<std::int64_t, int>; // (zones, rank)
+            std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+            for (int r = 0; r < m_nranks; ++r) heap.emplace(0, r);
+            for (std::size_t idx : order) {
+                auto [zones, r] = heap.top();
+                heap.pop();
+                m_rank[idx] = r;
+                heap.emplace(zones + ba[idx].numPts(), r);
+            }
+            break;
+        }
+    }
+}
+
+std::vector<int> DistributionMapping::boxesPerRank() const {
+    std::vector<int> count(m_nranks, 0);
+    for (int r : m_rank) ++count[r];
+    return count;
+}
+
+std::vector<std::int64_t> DistributionMapping::zonesPerRank(const BoxArray& ba) const {
+    std::vector<std::int64_t> zones(m_nranks, 0);
+    for (std::size_t i = 0; i < m_rank.size(); ++i) {
+        zones[m_rank[i]] += ba[i].numPts();
+    }
+    return zones;
+}
+
+double DistributionMapping::imbalance(const BoxArray& ba, const DistributionMapping& dm) {
+    auto zones = dm.zonesPerRank(ba);
+    if (zones.empty()) return 1.0;
+    const std::int64_t mx = *std::max_element(zones.begin(), zones.end());
+    const double mean = static_cast<double>(ba.numPts()) / dm.numRanks();
+    return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+}
+
+} // namespace exa

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "mesh/box_array.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace exa {
+
+// Assignment of boxes to (simulated) MPI ranks. On Summit the codes run
+// one rank per GPU — six ranks per node — so the mapping here, combined
+// with the node width, determines both load balance and which halo
+// messages cross the network. Strategies mirror AMReX's: round-robin, a
+// space-filling-curve mapping (locality-preserving, the default), and a
+// knapsack mapping (balance by zone count).
+class DistributionMapping {
+public:
+    enum class Strategy { RoundRobin, Sfc, Knapsack };
+
+    DistributionMapping() = default;
+    DistributionMapping(const BoxArray& ba, int nranks,
+                        Strategy strategy = Strategy::Sfc);
+
+    int operator[](std::size_t box_index) const { return m_rank[box_index]; }
+    std::size_t size() const { return m_rank.size(); }
+    int numRanks() const { return m_nranks; }
+    const std::vector<int>& ranks() const { return m_rank; }
+
+    // Number of boxes owned by each rank.
+    std::vector<int> boxesPerRank() const;
+    // Zones owned by each rank (load-balance diagnostic).
+    std::vector<std::int64_t> zonesPerRank(const BoxArray& ba) const;
+
+    // Max-over-ranks zones divided by mean zones: 1.0 = perfect balance.
+    // This is the quantity behind the paper's "6 ranks don't divide 64
+    // boxes" load-balancing discussion.
+    static double imbalance(const BoxArray& ba, const DistributionMapping& dm);
+
+    bool operator==(const DistributionMapping&) const = default;
+
+private:
+    std::vector<int> m_rank;
+    int m_nranks = 1;
+};
+
+// Morton (Z-order) code of a non-negative 3-D index, for SFC ordering.
+std::uint64_t mortonCode(int x, int y, int z);
+
+} // namespace exa

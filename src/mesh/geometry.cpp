@@ -1,0 +1,40 @@
+#include "mesh/geometry.hpp"
+
+namespace exa {
+
+std::vector<IntVect> Periodicity::shifts() const {
+    std::vector<IntVect> out;
+    const int nx = isPeriodic(0) ? 1 : 0;
+    const int ny = isPeriodic(1) ? 1 : 0;
+    const int nz = isPeriodic(2) ? 1 : 0;
+    for (int sz = -nz; sz <= nz; ++sz)
+        for (int sy = -ny; sy <= ny; ++sy)
+            for (int sx = -nx; sx <= nx; ++sx)
+                out.push_back(IntVect{sx * m_period.x, sy * m_period.y, sz * m_period.z});
+    return out;
+}
+
+Geometry::Geometry(const Box& domain, const std::array<Real, 3>& problo,
+                   const std::array<Real, 3>& probhi, const IntVect& is_periodic)
+    : m_domain(domain), m_problo(problo), m_probhi(probhi) {
+    for (int d = 0; d < 3; ++d) {
+        m_dx[d] = (probhi[d] - problo[d]) / domain.length(d);
+    }
+    IntVect period{0, 0, 0};
+    for (int d = 0; d < 3; ++d) {
+        if (is_periodic[d] != 0) period[d] = domain.length(d);
+    }
+    m_periodicity = Periodicity(period);
+}
+
+Geometry Geometry::refined(int ratio) const {
+    IntVect per{isPeriodic(0) ? 1 : 0, isPeriodic(1) ? 1 : 0, isPeriodic(2) ? 1 : 0};
+    return Geometry(refine(m_domain, ratio), m_problo, m_probhi, per);
+}
+
+Geometry Geometry::coarsened(int ratio) const {
+    IntVect per{isPeriodic(0) ? 1 : 0, isPeriodic(1) ? 1 : 0, isPeriodic(2) ? 1 : 0};
+    return Geometry(coarsen(m_domain, ratio), m_problo, m_probhi, per);
+}
+
+} // namespace exa

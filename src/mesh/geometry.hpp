@@ -1,0 +1,76 @@
+#pragma once
+
+#include "core/box.hpp"
+#include "core/real.hpp"
+
+#include <array>
+#include <vector>
+
+namespace exa {
+
+// Which dimensions wrap around. A period of 0 means non-periodic.
+class Periodicity {
+public:
+    Periodicity() = default;
+    explicit Periodicity(const IntVect& period) : m_period(period) {}
+
+    static Periodicity nonPeriodic() { return Periodicity{}; }
+
+    bool isPeriodic(int d) const { return m_period[d] != 0; }
+    bool isAnyPeriodic() const {
+        return isPeriodic(0) || isPeriodic(1) || isPeriodic(2);
+    }
+    int period(int d) const { return m_period[d]; }
+
+    // All shift vectors (including zero) under which a box image may
+    // touch another box: {-L,0,+L} per periodic dimension.
+    std::vector<IntVect> shifts() const;
+
+private:
+    IntVect m_period{0, 0, 0};
+};
+
+// Problem geometry at one refinement level: the index-space domain, its
+// physical extent, and periodicity. Uniform Cartesian zones only (matching
+// the 3-D runs in the paper; the 2-D axisymmetric configuration discussed
+// there is a historical workaround the paper's contribution makes
+// unnecessary).
+class Geometry {
+public:
+    Geometry() = default;
+    Geometry(const Box& domain, const std::array<Real, 3>& problo,
+             const std::array<Real, 3>& probhi, const IntVect& is_periodic = {0, 0, 0});
+
+    const Box& domain() const { return m_domain; }
+    Real probLo(int d) const { return m_problo[d]; }
+    Real probHi(int d) const { return m_probhi[d]; }
+    Real cellSize(int d) const { return m_dx[d]; }
+    const std::array<Real, 3>& cellSizes() const { return m_dx; }
+    Real cellVolume() const { return m_dx[0] * m_dx[1] * m_dx[2]; }
+
+    // Physical coordinate of zone center i along dimension d.
+    Real cellCenter(int d, int i) const {
+        return m_problo[d] + (i - m_domain.smallEnd(d) + 0.5_rt) * m_dx[d];
+    }
+    // Physical coordinate of the low face of zone i along dimension d.
+    Real cellLo(int d, int i) const {
+        return m_problo[d] + (i - m_domain.smallEnd(d)) * m_dx[d];
+    }
+
+    const Periodicity& periodicity() const { return m_periodicity; }
+    bool isPeriodic(int d) const { return m_periodicity.isPeriodic(d); }
+
+    // The geometry of this domain refined/coarsened by `ratio` (same
+    // physical extent, finer/coarser zones).
+    Geometry refined(int ratio) const;
+    Geometry coarsened(int ratio) const;
+
+private:
+    Box m_domain;
+    std::array<Real, 3> m_problo{0, 0, 0};
+    std::array<Real, 3> m_probhi{1, 1, 1};
+    std::array<Real, 3> m_dx{1, 1, 1};
+    Periodicity m_periodicity;
+};
+
+} // namespace exa

@@ -1,0 +1,111 @@
+#include "mesh/interp.hpp"
+
+#include "core/parallel_for.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace exa {
+
+namespace {
+// Minmod-limited central slope of crse component n along dimension d.
+EXA_FORCE_INLINE Real limited_slope(Array4<const Real> c, int i, int j, int k, int n,
+                                    int d) {
+    const IntVect e = IntVect::basis(d);
+    const Real sl = c(i, j, k, n) - c(i - e.x, j - e.y, k - e.z, n);
+    const Real sr = c(i + e.x, j + e.y, k + e.z, n) - c(i, j, k, n);
+    if (sl * sr <= 0.0) return 0.0;
+    const Real sc = 0.5 * (sl + sr);
+    const Real mag = std::min({std::abs(sc), 2.0 * std::abs(sl), 2.0 * std::abs(sr)});
+    return sc > 0 ? mag : -mag;
+}
+} // namespace
+
+void pcInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region,
+              int ratio, int scomp, int dcomp, int ncomp) {
+    ParallelFor(fine_region, ncomp, [=](int i, int j, int k, int n) {
+        fine(i, j, k, dcomp + n) = crse(coarsen_index(i, ratio), coarsen_index(j, ratio),
+                                        coarsen_index(k, ratio), scomp + n);
+    });
+}
+
+void conslinInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region,
+                   int ratio, int scomp, int dcomp, int ncomp) {
+    const Real r = static_cast<Real>(ratio);
+    ParallelFor(fine_region, ncomp, [=](int i, int j, int k, int n) {
+        const int ic = coarsen_index(i, ratio);
+        const int jc = coarsen_index(j, ratio);
+        const int kc = coarsen_index(k, ratio);
+        // Offset of the fine center from the coarse center, in coarse-zone
+        // units; symmetric over the children of one coarse zone.
+        const Real ox = (i - ic * ratio + 0.5_rt) / r - 0.5_rt;
+        const Real oy = (j - jc * ratio + 0.5_rt) / r - 0.5_rt;
+        const Real oz = (k - kc * ratio + 0.5_rt) / r - 0.5_rt;
+        fine(i, j, k, dcomp + n) = crse(ic, jc, kc, scomp + n) +
+                                   ox * limited_slope(crse, ic, jc, kc, scomp + n, 0) +
+                                   oy * limited_slope(crse, ic, jc, kc, scomp + n, 1) +
+                                   oz * limited_slope(crse, ic, jc, kc, scomp + n, 2);
+    });
+}
+
+void averageDown(MultiFab& crse, const MultiFab& fine, int ratio, int scomp,
+                 int dcomp, int ncomp) {
+    const Real inv = 1.0_rt / (static_cast<Real>(ratio) * ratio * ratio);
+    for (std::size_t ci = 0; ci < crse.size(); ++ci) {
+        auto c = crse.array(static_cast<int>(ci));
+        // The portion of this coarse box lying under any fine box.
+        for (std::size_t fi = 0; fi < fine.size(); ++fi) {
+            const Box under =
+                crse.box(static_cast<int>(ci)) & coarsen(fine.box(static_cast<int>(fi)), ratio);
+            if (!under.ok()) continue;
+            auto f = fine.const_array(static_cast<int>(fi));
+            ParallelFor(under, ncomp, [=](int i, int j, int k, int n) {
+                Real s = 0;
+                for (int kk = 0; kk < ratio; ++kk)
+                    for (int jj = 0; jj < ratio; ++jj)
+                        for (int ii = 0; ii < ratio; ++ii)
+                            s += f(i * ratio + ii, j * ratio + jj, k * ratio + kk,
+                                   scomp + n);
+                c(i, j, k, dcomp + n) = s * inv;
+            });
+        }
+    }
+}
+
+void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
+                        const MultiFab& crse_src, const Geometry& crse_geom,
+                        const Geometry& fine_geom, int ratio, int scomp, int ncomp) {
+    assert(ng <= dst.nGrow());
+    (void)crse_geom;
+    // Step 1: interpolate everywhere from the coarse level. We build a
+    // scratch coarse fab around each destination region so the slope
+    // stencil has data, filled by ParallelCopy from the coarse level.
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        const Box fdst = grow(dst.box(static_cast<int>(i)), ng);
+        Box cbox = coarsen(fdst, ratio);
+        cbox.grow(1); // slope stencil
+        FArrayBox ctmp(cbox, ncomp);
+        ctmp.setVal(0.0);
+        // Gather coarse valid data (with periodic images of the valid
+        // regions) into ctmp. Ghost zones of the source are not used: they
+        // may be stale, and their periodic images could overwrite correct
+        // valid data.
+        const auto shifts = crse_geom.periodicity().shifts();
+        for (const IntVect& s : shifts) {
+            for (std::size_t j = 0; j < crse_src.size(); ++j) {
+                const Box image = shift(crse_src.box(static_cast<int>(j)), s);
+                const Box isect = cbox & image;
+                if (!isect.ok()) continue;
+                ctmp.copyFrom(crse_src.fab(static_cast<int>(j)), shift(isect, -s), scomp,
+                              isect, 0, ncomp);
+            }
+        }
+        conslinInterp(dst.array(static_cast<int>(i)), ctmp.const_array(), fdst, ratio, 0,
+                      scomp, ncomp);
+    }
+    // Step 2: overwrite with same-level data wherever the fine source
+    // covers the destination (valid regions + periodic images).
+    dst.ParallelCopy(fine_src, scomp, scomp, ncomp, ng, fine_geom.periodicity());
+}
+
+} // namespace exa

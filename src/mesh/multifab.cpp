@@ -1,0 +1,208 @@
+#include "mesh/multifab.hpp"
+
+#include "core/executor.hpp"
+#include "core/parallel_for.hpp"
+#include "mesh/comm_hooks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace exa {
+
+MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                   int ngrow, Arena* arena) {
+    define(ba, dm, ncomp, ngrow, arena);
+}
+
+void MultiFab::define(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                      int ngrow, Arena* arena) {
+    assert(ba.size() == dm.size());
+    clear();
+    m_ba = ba;
+    m_dm = dm;
+    m_ncomp = ncomp;
+    m_ngrow = ngrow;
+    m_fabs.reserve(ba.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        m_fabs.emplace_back(grow(ba[i], ngrow), ncomp, arena);
+    }
+}
+
+void MultiFab::clear() {
+    m_fabs.clear();
+    m_ba = BoxArray{};
+    m_dm = DistributionMapping{};
+    m_ncomp = 0;
+    m_ngrow = 0;
+}
+
+void MultiFab::setVal(Real v) {
+    for (auto& f : m_fabs) f.setVal(v);
+}
+
+void MultiFab::setVal(Real v, int comp, int ncomp, int ngrow) {
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m_fabs[i].setVal(v, grow(m_ba[i], ngrow), comp, ncomp);
+    }
+}
+
+void MultiFab::FillBoundary(const Periodicity& period) {
+    const auto shifts = period.shifts();
+    const bool account = CommHooks::active();
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        const Box dst_region = fabbox(static_cast<int>(i));
+        for (const IntVect& s : shifts) {
+            for (std::size_t j = 0; j < m_fabs.size(); ++j) {
+                if (i == j && s == IntVect::zero()) continue;
+                const Box src_image = shift(m_ba[j], s);
+                const Box isect = dst_region & src_image;
+                if (!isect.ok()) continue;
+                const Box src_box = shift(isect, -s);
+                m_fabs[i].copyFrom(m_fabs[j], src_box, 0, isect, 0, m_ncomp);
+                if (account && m_dm[j] != m_dm[i]) {
+                    CommHooks::notify({m_dm[j], m_dm[i],
+                                       static_cast<std::int64_t>(isect.numPts()) *
+                                           m_ncomp * static_cast<int>(sizeof(Real)),
+                                       "fillboundary"});
+                }
+            }
+        }
+    }
+}
+
+void MultiFab::ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
+                            int dst_ng, const Periodicity& period) {
+    assert(dst_ng <= m_ngrow);
+    const auto shifts = period.shifts();
+    const bool account = CommHooks::active();
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        const Box dst_region = grow(m_ba[i], dst_ng);
+        for (const IntVect& s : shifts) {
+            for (std::size_t j = 0; j < src.size(); ++j) {
+                const Box src_image = shift(src.m_ba[j], s);
+                const Box isect = dst_region & src_image;
+                if (!isect.ok()) continue;
+                const Box src_box = shift(isect, -s);
+                m_fabs[i].copyFrom(src.m_fabs[j], src_box, scomp, isect, dcomp, ncomp);
+                if (account && src.m_dm[j] != m_dm[i]) {
+                    CommHooks::notify({src.m_dm[j], m_dm[i],
+                                       static_cast<std::int64_t>(isect.numPts()) *
+                                           ncomp * static_cast<int>(sizeof(Real)),
+                                       "parallelcopy"});
+                }
+            }
+        }
+    }
+}
+
+Real MultiFab::sum(int comp) const {
+    Real s = 0;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) s += m_fabs[i].sum(m_ba[i], comp);
+    return s;
+}
+
+Real MultiFab::min(int comp) const {
+    Real m = 1.0e300;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m = std::min(m, m_fabs[i].min(m_ba[i], comp));
+    }
+    return m;
+}
+
+Real MultiFab::max(int comp) const {
+    Real m = -1.0e300;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m = std::max(m, m_fabs[i].max(m_ba[i], comp));
+    }
+    return m;
+}
+
+Real MultiFab::norminf(int comp) const {
+    Real m = 0;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m = std::max(m, m_fabs[i].norminf(m_ba[i], comp));
+    }
+    return m;
+}
+
+Real MultiFab::norm2(int comp) const {
+    Real s = 0;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        const Real n = m_fabs[i].norm2(m_ba[i], comp);
+        s += n * n;
+    }
+    return std::sqrt(s);
+}
+
+void MultiFab::saxpy(Real a, const MultiFab& x, int scomp, int dcomp, int ncomp) {
+    assert(m_ba == x.m_ba);
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m_fabs[i].saxpy(a, x.m_fabs[i], m_ba[i], scomp, dcomp, ncomp);
+    }
+}
+
+void MultiFab::plus(Real v, int comp, int ncomp) {
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m_fabs[i].plus(v, m_ba[i], comp, ncomp);
+    }
+}
+
+void MultiFab::mult(Real v, int comp, int ncomp) {
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        m_fabs[i].mult(v, m_ba[i], comp, ncomp);
+    }
+}
+
+void MultiFab::Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
+                    int ncomp, int ng) {
+    assert(dst.m_ba == src.m_ba);
+    assert(ng <= dst.nGrow() && ng <= src.nGrow());
+    for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
+        const Box region = grow(dst.m_ba[i], ng);
+        dst.m_fabs[i].copyFrom(src.m_fabs[i], region, scomp, region, dcomp, ncomp);
+    }
+}
+
+void MultiFab::LinComb(MultiFab& dst, Real a, const MultiFab& x, Real b,
+                       const MultiFab& y, int comp, int ncomp) {
+    assert(dst.m_ba == x.m_ba && dst.m_ba == y.m_ba);
+    for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
+        auto d = dst.m_fabs[i].array();
+        auto xa = x.m_fabs[i].const_array();
+        auto ya = y.m_fabs[i].const_array();
+        ParallelFor(dst.m_ba[i], ncomp, [=](int ii, int j, int k, int n) {
+            d(ii, j, k, comp + n) = a * xa(ii, j, k, comp + n) + b * ya(ii, j, k, comp + n);
+        });
+    }
+}
+
+MFIter::MFIter(const MultiFab& mf, bool tiling) : m_mf(&mf) {
+    const IntVect ts = ExecConfig::tileSize();
+    for (std::size_t i = 0; i < mf.size(); ++i) {
+        const Box& vb = mf.box(static_cast<int>(i));
+        if (tiling) {
+            for (const Box& t : chopDomain(vb, ts)) {
+                m_tiles.push_back({static_cast<int>(i), t});
+            }
+        } else {
+            m_tiles.push_back({static_cast<int>(i), vb});
+        }
+    }
+    syncStream();
+}
+
+void MFIter::syncStream() {
+    if (isValid()) {
+        ExecConfig::setCurrentStream(m_tiles[m_pos].fab % ExecConfig::numStreams());
+    } else {
+        ExecConfig::setCurrentStream(0);
+    }
+}
+
+Box MFIter::growntilebox(int ng) const {
+    Box b = grow(m_tiles[m_pos].box, ng);
+    return b & grow(validbox(), m_mf->nGrow());
+}
+
+} // namespace exa

@@ -1,0 +1,129 @@
+#pragma once
+
+#include "core/arena.hpp"
+#include "mesh/box_array.hpp"
+#include "mesh/distribution.hpp"
+#include "mesh/fab.hpp"
+#include "mesh/geometry.hpp"
+
+#include <vector>
+
+namespace exa {
+
+// The central data structure of the framework: fluid state at one level of
+// refinement, distributed over the boxes of a BoxArray (each box owned by
+// one simulated rank per the DistributionMapping), with `ngrow` ghost
+// zones around every box.
+//
+// In a distributed build each rank would hold only its own Fabs; here one
+// process holds them all and the DistributionMapping drives the *message
+// accounting* (CommHooks) for every ghost exchange and parallel copy, from
+// exactly the intersections that move the data.
+class MultiFab {
+public:
+    MultiFab() = default;
+    MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp, int ngrow,
+             Arena* arena = nullptr);
+
+    void define(const BoxArray& ba, const DistributionMapping& dm, int ncomp, int ngrow,
+                Arena* arena = nullptr);
+    bool isDefined() const { return !m_fabs.empty(); }
+    void clear();
+
+    const BoxArray& boxArray() const { return m_ba; }
+    const DistributionMapping& distributionMap() const { return m_dm; }
+    int nComp() const { return m_ncomp; }
+    int nGrow() const { return m_ngrow; }
+    std::size_t size() const { return m_fabs.size(); }
+
+    // The valid (ghost-free) box of fab i and its grown box.
+    const Box& box(int i) const { return m_ba[i]; }
+    Box fabbox(int i) const { return grow(m_ba[i], m_ngrow); }
+
+    FArrayBox& fab(int i) { return m_fabs[i]; }
+    const FArrayBox& fab(int i) const { return m_fabs[i]; }
+    Array4<Real> array(int i) { return m_fabs[i].array(); }
+    Array4<const Real> const_array(int i) const { return m_fabs[i].const_array(); }
+
+    void setVal(Real v);
+    void setVal(Real v, int comp, int ncomp, int ngrow = 0);
+
+    // Fill every ghost zone that overlaps the valid region of any fab in
+    // this MultiFab, honoring periodic images. This is the halo exchange:
+    // each box-to-box copy whose source and destination live on different
+    // ranks is reported to CommHooks as one message.
+    void FillBoundary(const Periodicity& period = Periodicity::nonPeriodic());
+
+    // Copy component data from src (any BoxArray) wherever src valid
+    // regions intersect our valid+dst_ng regions, with periodic images.
+    void ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
+                      int dst_ng = 0,
+                      const Periodicity& period = Periodicity::nonPeriodic());
+
+    // Global reductions over valid regions.
+    Real sum(int comp = 0) const;
+    Real min(int comp = 0) const;
+    Real max(int comp = 0) const;
+    Real norminf(int comp = 0) const;
+    Real norm2(int comp = 0) const;
+
+    // this += a * x over valid regions (matching BoxArrays required).
+    void saxpy(Real a, const MultiFab& x, int scomp, int dcomp, int ncomp);
+    void plus(Real v, int comp, int ncomp);
+    void mult(Real v, int comp, int ncomp);
+
+    // dst = src (matching BoxArrays), valid + ng ghost zones.
+    static void Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
+                     int ncomp, int ng = 0);
+    // dst = a*x + b*y over valid regions (matching BoxArrays).
+    static void LinComb(MultiFab& dst, Real a, const MultiFab& x, Real b,
+                        const MultiFab& y, int comp, int ncomp);
+
+private:
+    BoxArray m_ba;
+    DistributionMapping m_dm;
+    int m_ncomp = 0;
+    int m_ngrow = 0;
+    std::vector<FArrayBox> m_fabs;
+};
+
+// Iterate over the fabs of a MultiFab, optionally decomposed into tiles.
+// This reproduces both sides of the paper's Figure 1:
+//   * tiled iteration (tile_size from ExecConfig) = the coarse-grained
+//     OpenMP model, one thread per tile;
+//   * untiled iteration + per-zone ParallelFor = the GPU model.
+// Each fab advances the round-robin stream id so the simulated device can
+// overlap kernels from different boxes (the CUDA-streams mitigation).
+class MFIter {
+public:
+    explicit MFIter(const MultiFab& mf, bool tiling = false);
+
+    bool isValid() const { return m_pos < m_tiles.size(); }
+    MFIter& operator++() {
+        ++m_pos;
+        syncStream();
+        return *this;
+    }
+
+    // Index of the underlying fab (for mf.array(mfi.index())).
+    int index() const { return m_tiles[m_pos].fab; }
+    // This tile's zones (= the valid box when not tiling).
+    const Box& tilebox() const { return m_tiles[m_pos].box; }
+    // The fab's full valid box.
+    const Box& validbox() const { return m_mf->box(m_tiles[m_pos].fab); }
+    // Tile box grown by ng, clipped to the fab's grown box.
+    Box growntilebox(int ng) const;
+
+private:
+    void syncStream();
+
+    struct Tile {
+        int fab;
+        Box box;
+    };
+    const MultiFab* m_mf;
+    std::vector<Tile> m_tiles;
+    std::size_t m_pos = 0;
+};
+
+} // namespace exa

@@ -1,0 +1,58 @@
+#include "mesh/phys_bc.hpp"
+
+#include "core/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace exa {
+
+void fillPhysicalBoundary(MultiFab& mf, const Geometry& geom, const DomainBC& bc,
+                          const std::array<std::vector<int>, 3>& odd_comps) {
+    const Box& dom = geom.domain();
+    const int nc = mf.nComp();
+    for (std::size_t f = 0; f < mf.size(); ++f) {
+        auto a = mf.array(static_cast<int>(f));
+        const Box gb = mf.fabbox(static_cast<int>(f));
+        // Fill dimension by dimension so edges/corners compose correctly
+        // (each pass may read ghost zones filled by the previous pass).
+        for (int d = 0; d < 3; ++d) {
+            const int dlo = dom.smallEnd(d), dhi = dom.bigEnd(d);
+            auto isOdd = [&](int n) {
+                return std::find(odd_comps[d].begin(), odd_comps[d].end(), n) !=
+                       odd_comps[d].end();
+            };
+            if (gb.smallEnd(d) < dlo && bc(d, 0) != PhysBC::Periodic) {
+                Box region = gb;
+                IntVect hi = region.bigEnd();
+                hi[d] = dlo - 1;
+                region = Box(region.smallEnd(), hi);
+                const bool reflect = bc(d, 0) == PhysBC::Reflect;
+                for (int n = 0; n < nc; ++n) {
+                    const Real sgn = (reflect && isOdd(n)) ? -1.0 : 1.0;
+                    ParallelFor(region, [=](int i, int j, int k) {
+                        IntVect src{i, j, k};
+                        src[d] = reflect ? 2 * dlo - 1 - src[d] : dlo;
+                        a(i, j, k, n) = sgn * a(src.x, src.y, src.z, n);
+                    });
+                }
+            }
+            if (gb.bigEnd(d) > dhi && bc(d, 1) != PhysBC::Periodic) {
+                Box region = gb;
+                IntVect lo = region.smallEnd();
+                lo[d] = dhi + 1;
+                region = Box(lo, region.bigEnd());
+                const bool reflect = bc(d, 1) == PhysBC::Reflect;
+                for (int n = 0; n < nc; ++n) {
+                    const Real sgn = (reflect && isOdd(n)) ? -1.0 : 1.0;
+                    ParallelFor(region, [=](int i, int j, int k) {
+                        IntVect src{i, j, k};
+                        src[d] = reflect ? 2 * dhi + 1 - src[d] : dhi;
+                        a(i, j, k, n) = sgn * a(src.x, src.y, src.z, n);
+                    });
+                }
+            }
+        }
+    }
+}
+
+} // namespace exa

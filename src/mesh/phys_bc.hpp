@@ -1,0 +1,42 @@
+#pragma once
+
+#include "mesh/geometry.hpp"
+#include "mesh/multifab.hpp"
+
+#include <array>
+#include <vector>
+
+namespace exa {
+
+// Physical boundary condition on one domain face.
+enum class PhysBC {
+    Periodic, // handled by FillBoundary; this fill skips the face
+    Outflow,  // zero-gradient extrapolation
+    Reflect,  // mirror; selected components flip sign (normal velocity)
+};
+
+// Boundary conditions for all six faces: [dim][0=low, 1=high].
+struct DomainBC {
+    std::array<std::array<PhysBC, 2>, 3> bc{{{PhysBC::Outflow, PhysBC::Outflow},
+                                             {PhysBC::Outflow, PhysBC::Outflow},
+                                             {PhysBC::Outflow, PhysBC::Outflow}}};
+
+    static DomainBC allOutflow() { return DomainBC{}; }
+    static DomainBC allPeriodic() {
+        DomainBC b;
+        for (auto& d : b.bc) d = {PhysBC::Periodic, PhysBC::Periodic};
+        return b;
+    }
+
+    PhysBC operator()(int dim, int side) const { return bc[dim][side]; }
+    void set(int dim, int side, PhysBC t) { bc[dim][side] = t; }
+};
+
+// Fill the ghost zones of `mf` that lie outside the domain, according to
+// the face BCs. Components listed in odd_comps[dim] flip sign under
+// Reflect in that dimension (the normal momentum/velocity). Interior and
+// periodic ghosts must already have been filled (FillBoundary).
+void fillPhysicalBoundary(MultiFab& mf, const Geometry& geom, const DomainBC& bc,
+                          const std::array<std::vector<int>, 3>& odd_comps = {});
+
+} // namespace exa

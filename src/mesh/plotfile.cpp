@@ -1,0 +1,123 @@
+#include "mesh/plotfile.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace exa {
+
+namespace fs = std::filesystem;
+
+std::int64_t writePlotfile(const std::string& dir,
+                           const std::vector<const MultiFab*>& state,
+                           const std::vector<Geometry>& geom,
+                           const std::vector<std::string>& varnames, Real time,
+                           int step) {
+    if (state.empty() || state.size() != geom.size()) {
+        throw std::invalid_argument("writePlotfile: level count mismatch");
+    }
+    fs::create_directories(dir);
+    std::int64_t bytes = 0;
+
+    std::ofstream hdr(dir + "/Header");
+    hdr << "ExaStroPlotfile-1\n";
+    hdr << state.size() << ' ' << state[0]->nComp() << '\n';
+    hdr.precision(17);
+    hdr << time << ' ' << step << '\n';
+    for (const auto& v : varnames) hdr << v << '\n';
+
+    for (std::size_t lev = 0; lev < state.size(); ++lev) {
+        const MultiFab& mf = *state[lev];
+        const Geometry& g = geom[lev];
+        const std::string ldir = dir + "/Level_" + std::to_string(lev);
+        fs::create_directories(ldir);
+        hdr << mf.size() << ' ' << g.domain().length(0) << ' '
+            << g.domain().length(1) << ' ' << g.domain().length(2) << '\n';
+        for (std::size_t f = 0; f < mf.size(); ++f) {
+            const Box& b = mf.box(static_cast<int>(f));
+            hdr << b.smallEnd(0) << ' ' << b.smallEnd(1) << ' ' << b.smallEnd(2)
+                << ' ' << b.bigEnd(0) << ' ' << b.bigEnd(1) << ' ' << b.bigEnd(2)
+                << '\n';
+            // Valid-region payload: the "copy to CPU memory" — ghost zones
+            // are never persisted.
+            const Box& vb = mf.box(static_cast<int>(f));
+            FArrayBox host_copy(vb, mf.nComp());
+            host_copy.copyFrom(mf.fab(static_cast<int>(f)), vb, 0, vb, 0,
+                               mf.nComp());
+            const std::int64_t nbytes =
+                vb.numPts() * mf.nComp() * static_cast<std::int64_t>(sizeof(Real));
+            std::ofstream bin(ldir + "/fab_" + std::to_string(f) + ".bin",
+                              std::ios::binary);
+            bin.write(reinterpret_cast<const char*>(host_copy.dataPtr()), nbytes);
+            bytes += nbytes;
+        }
+    }
+    return bytes;
+}
+
+std::int64_t writePlotfile(const std::string& dir, const MultiFab& state,
+                           const Geometry& geom,
+                           const std::vector<std::string>& varnames, Real time,
+                           int step) {
+    return writePlotfile(dir, std::vector<const MultiFab*>{&state}, {geom},
+                         varnames, time, step);
+}
+
+PlotfileHeader readPlotfileHeader(const std::string& dir) {
+    std::ifstream hdr(dir + "/Header");
+    if (!hdr) throw std::runtime_error("readPlotfileHeader: no Header in " + dir);
+    PlotfileHeader out;
+    std::string magic;
+    hdr >> magic;
+    if (magic != "ExaStroPlotfile-1") {
+        throw std::runtime_error("readPlotfileHeader: bad magic " + magic);
+    }
+    hdr >> out.nlevels >> out.ncomp >> out.time >> out.step;
+    out.varnames.resize(out.ncomp);
+    for (auto& v : out.varnames) hdr >> v;
+    out.boxes.resize(out.nlevels);
+    for (int lev = 0; lev < out.nlevels; ++lev) {
+        std::size_t nfabs;
+        int nx, ny, nz;
+        hdr >> nfabs >> nx >> ny >> nz;
+        out.boxes[lev].resize(nfabs);
+        for (auto& b : out.boxes[lev]) {
+            IntVect lo, hi;
+            hdr >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z;
+            b = Box(lo, hi);
+        }
+    }
+    return out;
+}
+
+std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state) {
+    const PlotfileHeader h = readPlotfileHeader(dir);
+    if (lev >= h.nlevels) throw std::runtime_error("readPlotfileLevel: no such level");
+    if (h.boxes[lev].size() != state.size()) {
+        throw std::runtime_error("readPlotfileLevel: BoxArray mismatch");
+    }
+    std::int64_t bytes = 0;
+    const std::string ldir = dir + "/Level_" + std::to_string(lev);
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        const Box& vb = state.box(static_cast<int>(f));
+        if (!(vb == h.boxes[lev][f])) {
+            throw std::runtime_error("readPlotfileLevel: box mismatch");
+        }
+        FArrayBox host(vb, state.nComp());
+        const std::int64_t nbytes =
+            vb.numPts() * state.nComp() * static_cast<std::int64_t>(sizeof(Real));
+        std::ifstream bin(ldir + "/fab_" + std::to_string(f) + ".bin",
+                          std::ios::binary);
+        if (!bin) throw std::runtime_error("readPlotfileLevel: missing fab file");
+        bin.read(reinterpret_cast<char*>(host.dataPtr()), nbytes);
+        if (bin.gcount() != nbytes) {
+            throw std::runtime_error("readPlotfileLevel: short read");
+        }
+        state.fab(static_cast<int>(f)).copyFrom(host, vb, 0, vb, 0, state.nComp());
+        bytes += nbytes;
+    }
+    return bytes;
+}
+
+} // namespace exa

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "mesh/geometry.hpp"
+#include "mesh/multifab.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exa {
+
+// Plotfile and checkpoint I/O, AMReX-flavored: a directory containing an
+// ASCII Header (grid metadata, variable names, time) and one raw binary
+// file per fab under Level_<n>/.
+//
+// In the paper's architecture this is one of only two places where
+// simulation data crosses back to the host ("checkpointing the simulation
+// state to disk, and MPI transfers"); writePlotfile/writeCheckpoint return
+// the bytes staged so callers can charge DeviceModel::transferTime — the
+// copy is explicitly a host *copy*, not a migration ("it involves making
+// a copy to CPU memory, not migrating the data to the CPU").
+
+// Write one level (or several) of state. Returns total payload bytes.
+std::int64_t writePlotfile(const std::string& dir,
+                           const std::vector<const MultiFab*>& state,
+                           const std::vector<Geometry>& geom,
+                           const std::vector<std::string>& varnames, Real time,
+                           int step);
+
+// Single-level convenience overload.
+std::int64_t writePlotfile(const std::string& dir, const MultiFab& state,
+                           const Geometry& geom,
+                           const std::vector<std::string>& varnames, Real time,
+                           int step);
+
+// Metadata read back from a plotfile/checkpoint header.
+struct PlotfileHeader {
+    int nlevels = 0;
+    int ncomp = 0;
+    Real time = 0.0;
+    int step = 0;
+    std::vector<std::string> varnames;
+    std::vector<std::vector<Box>> boxes; // per level
+};
+
+PlotfileHeader readPlotfileHeader(const std::string& dir);
+
+// Restart: read level `lev` data into `state`, whose BoxArray must match
+// the file's. Returns bytes read.
+std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state);
+
+} // namespace exa

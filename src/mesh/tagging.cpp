@@ -1,0 +1,98 @@
+#include "mesh/tagging.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace exa {
+
+std::vector<Box> TagCluster::cluster(const MultiFab& tags, const Box& domain) const {
+    std::vector<IntVect> tagged;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        auto a = tags.const_array(static_cast<int>(i));
+        const Box& b = tags.box(static_cast<int>(i));
+        for (int k = b.smallEnd(2); k <= b.bigEnd(2); ++k)
+            for (int j = b.smallEnd(1); j <= b.bigEnd(1); ++j)
+                for (int ii = b.smallEnd(0); ii <= b.bigEnd(0); ++ii)
+                    if (a(ii, j, k) != 0.0) tagged.push_back({ii, j, k});
+    }
+    return cluster(tagged, domain);
+}
+
+std::vector<Box> TagCluster::cluster(const std::vector<IntVect>& tagged,
+                                     const Box& domain) const {
+    // Snap tagged zones onto the blocking grid; duplicates collapse.
+    std::set<std::array<int, 3>> blocks;
+    for (const IntVect& p : tagged) {
+        blocks.insert({coarsen_index(p.x, m_blocking), coarsen_index(p.y, m_blocking),
+                       coarsen_index(p.z, m_blocking)});
+    }
+    std::vector<IntVect> bl;
+    bl.reserve(blocks.size());
+    for (const auto& b : blocks) bl.push_back({b[0], b[1], b[2]});
+    return mergeBlocks(std::move(bl), domain);
+}
+
+std::vector<Box> TagCluster::mergeBlocks(std::vector<IntVect> blocks,
+                                         const Box& domain) const {
+    // Greedy rectangular merge: runs along x, then merge runs with equal
+    // x-extent along y, then merge slabs with equal xy-extent along z.
+    std::sort(blocks.begin(), blocks.end(), [](const IntVect& a, const IntVect& b) {
+        return std::array{a.z, a.y, a.x} < std::array{b.z, b.y, b.x};
+    });
+
+    struct Run {
+        int x0, x1, y, z;
+    };
+    std::vector<Run> runs;
+    for (std::size_t i = 0; i < blocks.size();) {
+        std::size_t j = i;
+        while (j + 1 < blocks.size() && blocks[j + 1].z == blocks[i].z &&
+               blocks[j + 1].y == blocks[i].y && blocks[j + 1].x == blocks[j].x + 1) {
+            ++j;
+        }
+        runs.push_back({blocks[i].x, blocks[j].x, blocks[i].y, blocks[i].z});
+        i = j + 1;
+    }
+
+    struct Slab {
+        int x0, x1, y0, y1, z;
+    };
+    std::vector<Slab> slabs;
+    std::vector<bool> used(runs.size(), false);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (used[i]) continue;
+        Slab s{runs[i].x0, runs[i].x1, runs[i].y, runs[i].y, runs[i].z};
+        for (std::size_t j = i + 1; j < runs.size(); ++j) {
+            if (!used[j] && runs[j].z == s.z && runs[j].y == s.y1 + 1 &&
+                runs[j].x0 == s.x0 && runs[j].x1 == s.x1) {
+                s.y1 = runs[j].y;
+                used[j] = true;
+            }
+        }
+        slabs.push_back(s);
+    }
+
+    std::vector<Box> out;
+    std::vector<bool> sused(slabs.size(), false);
+    for (std::size_t i = 0; i < slabs.size(); ++i) {
+        if (sused[i]) continue;
+        Slab s = slabs[i];
+        int z1 = s.z;
+        for (std::size_t j = i + 1; j < slabs.size(); ++j) {
+            if (!sused[j] && slabs[j].z == z1 + 1 && slabs[j].x0 == s.x0 &&
+                slabs[j].x1 == s.x1 && slabs[j].y0 == s.y0 && slabs[j].y1 == s.y1) {
+                z1 = slabs[j].z;
+                sused[j] = true;
+            }
+        }
+        Box b(IntVect{s.x0 * m_blocking, s.y0 * m_blocking, s.z * m_blocking},
+              IntVect{(s.x1 + 1) * m_blocking - 1, (s.y1 + 1) * m_blocking - 1,
+                      (z1 + 1) * m_blocking - 1});
+        Box clipped = b & domain;
+        if (clipped.ok()) out.push_back(clipped);
+    }
+    return out;
+}
+
+} // namespace exa

@@ -1,0 +1,114 @@
+#include "microphysics/burner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa {
+
+Real BurnOde::cvAt(Real T, const Real* Y) const {
+    std::vector<Real> X(m_net.nspec());
+    m_net.yToX(Y, X.data());
+    EosState s;
+    s.rho = m_rho;
+    s.T = std::max(T, Real(1.0e4));
+    s.abar = m_net.abar(X.data());
+    s.ye = m_net.ye(X.data());
+    m_eos.rhoT(s);
+    return s.cv;
+}
+
+void BurnOde::rhs(Real /*t*/, const std::vector<Real>& y, std::vector<Real>& f) {
+    const int n = m_net.nspec();
+    f.resize(n + 1);
+    const Real T = std::max(y[n], Real(1.0e4));
+    Real edot = 0.0;
+    m_net.ydot(m_rho, T, y.data(), f.data(), edot);
+    f[n] = edot / cvAt(T, y.data());
+}
+
+void BurnOde::jacobian(Real /*t*/, const std::vector<Real>& y, DenseMatrix& jac) {
+    const int n = m_net.nspec();
+    const Real T = std::max(y[n], Real(1.0e4));
+    m_net.jacobian(m_rho, T, y.data(), cvAt(T, y.data()), jac);
+}
+
+BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+                    const Real* X, Real dt, const OdeOptions& opt) {
+    const int n = net.nspec();
+    BurnResult out;
+    out.X.resize(n);
+
+    std::vector<Real> y(n + 1);
+    net.xToY(X, y.data());
+    y[n] = T;
+
+    BurnOde ode(net, eos, rho);
+    BdfIntegrator bdf;
+    out.stats = bdf.integrate(ode, y, 0.0, dt, opt);
+
+    out.T = std::max(y[n], Real(1.0e4));
+    for (int i = 0; i < n; ++i) y[i] = std::clamp(y[i], Real(0), Real(1.0));
+    net.yToX(y.data(), out.X.data());
+    // Renormalize mass fractions (conservation guard against integration
+    // drift; the network itself conserves nucleon number exactly).
+    Real xsum = 0.0;
+    for (int i = 0; i < n; ++i) xsum += out.X[i];
+    if (xsum > 0.0) {
+        for (int i = 0; i < n; ++i) out.X[i] /= xsum;
+    }
+
+    // Released specific energy, exactly from the abundance change and the
+    // species mass excesses (independent of the thermal path).
+    std::vector<Real> y0(n), y1(n);
+    net.xToY(X, y0.data());
+    net.xToY(out.X.data(), y1.data());
+    out.e_nuc = net.energyFromAbundanceChange(y0.data(), y1.data());
+    out.success = out.stats.success;
+    return out;
+}
+
+Real edotOf(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+            const Real* X) {
+    (void)eos;
+    const int n = net.nspec();
+    std::vector<Real> y(n), dy(n);
+    net.xToY(X, y.data());
+    Real edot = 0.0;
+    net.ydot(rho, T, y.data(), dy.data(), edot);
+    return edot;
+}
+
+Real burningTimescale(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+                      const Real* X) {
+    const Real edot = edotOf(net, eos, rho, T, X);
+    if (edot <= 0.0) return 1.0e99;
+    EosState s;
+    s.rho = rho;
+    s.T = T;
+    s.abar = net.abar(X);
+    s.ye = net.ye(X);
+    eos.rhoT(s);
+    // Time to double the thermal energy content: cv*T / edot.
+    return s.cv * T / edot;
+}
+
+KernelInfo burnKernelInfo(int nspec, double steps_per_zone, double imbalance) {
+    const int nsys = nspec + 1;
+    KernelInfo ki;
+    ki.name = "nuclear_burn";
+    // Cost of one *production* VODE step: a few Newton iterations, each
+    // with a full Helmholtz-EOS + rate-screening RHS (~thousands of
+    // flops), an O(nsys^2) triangular solve, and an amortized O(nsys^3)
+    // LU refactorization. Calibrated so the 2-species reacting-bubble
+    // burn balances the projection multigrid on one node (Section IV-B).
+    ki.flops_per_zone = steps_per_zone * (2000.0 * nsys * nsys + 60000.0);
+    ki.bytes_per_zone = steps_per_zone * (120.0 * nsys * nsys + 600.0);
+    // Jacobian + LU + Nordsieck history live in registers/local memory:
+    // ~1.5 registers per matrix entry plus overhead. aprox13 (nsys = 14)
+    // demands ~334 > 255 and spills, ignition_simple (nsys = 3) fits.
+    ki.regs_per_thread = 40 + static_cast<int>(1.5 * nsys * nsys);
+    ki.work_imbalance = std::max(1.0, imbalance);
+    return ki;
+}
+
+} // namespace exa

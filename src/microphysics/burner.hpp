@@ -1,0 +1,75 @@
+#pragma once
+
+#include "core/executor.hpp"
+#include "microphysics/bdf.hpp"
+#include "microphysics/eos.hpp"
+#include "microphysics/network.hpp"
+
+#include <vector>
+
+namespace exa {
+
+// The coupled burn ODE for one zone at constant density:
+//   dY_i/dt = network RHS,   dT/dt = edot / cv(rho, T, X)
+// with cv re-evaluated from the EOS at every RHS call (self-heating).
+// This is the system VODE integrates in the production codes.
+class BurnOde final : public OdeSystem {
+public:
+    BurnOde(const ReactionNetwork& net, const Eos& eos, Real rho)
+        : m_net(net), m_eos(eos), m_rho(rho) {}
+
+    int size() const override { return m_net.nspec() + 1; }
+    void rhs(Real t, const std::vector<Real>& y, std::vector<Real>& f) override;
+    void jacobian(Real t, const std::vector<Real>& y, DenseMatrix& jac) override;
+    std::vector<char> sparsity() const override { return m_net.sparsity(); }
+
+    Real cvAt(Real T, const Real* Y) const;
+
+private:
+    const ReactionNetwork& m_net;
+    const Eos& m_eos;
+    Real m_rho;
+};
+
+struct BurnResult {
+    Real T = 0.0;              // final temperature
+    std::vector<Real> X;       // final mass fractions
+    Real e_nuc = 0.0;          // specific nuclear energy released [erg/g]
+    OdeStats stats;
+    bool success = false;
+};
+
+// Integrate the burn for one zone over dt. X has net.nspec() entries.
+BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+                    const Real* X, Real dt, const OdeOptions& opt = OdeOptions{});
+
+// Characteristic nuclear timescales of a state, used by the WD-collision
+// diagnostics (the paper's burning-vs-heat-transfer stability criterion
+// after Kushnir et al. / Katz & Zingale).
+Real edotOf(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+            const Real* X);
+Real burningTimescale(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+                      const Real* X);
+
+// Per-grid burn statistics: the cost nonuniformity across zones that
+// motivates the paper's CPU/GPU hybrid strategy (Section VI).
+struct BurnGridStats {
+    std::int64_t zones = 0;
+    std::int64_t total_steps = 0;
+    std::int64_t max_steps = 0;
+    std::int64_t failures = 0;
+    double meanSteps() const {
+        return zones > 0 ? static_cast<double>(total_steps) / zones : 0.0;
+    }
+    // Warp-level work imbalance proxy: the hottest zone stalls its warp.
+    double imbalance() const {
+        return total_steps > 0 ? static_cast<double>(max_steps) / meanSteps() : 1.0;
+    }
+};
+
+// The KernelInfo of a burn launch for an N-species network: per-thread
+// register demand grows with the (N+1)^2 Jacobian (the paper's Volta
+// 255-register discussion — aprox13 spills, ignition_simple does not).
+KernelInfo burnKernelInfo(int nspec, double steps_per_zone, double imbalance);
+
+} // namespace exa

@@ -1,0 +1,170 @@
+#include "microphysics/eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa {
+
+namespace {
+using namespace constants;
+
+// Chandrasekhar constants: P_deg = A f(x), U_deg = A g(x), with
+// rho*ye = C_ne * x^3.
+constexpr Real A_ch = 6.002e22;   // pi me^4 c^5 / (3 h^3) [dyn/cm^2]
+constexpr Real C_ne = 9.739e5;    // (8pi/3)(me c/h)^3 m_u [g/cm^3]
+
+Real f_ch(Real x) {
+    const Real x2 = x * x;
+    return x * (2.0 * x2 - 3.0) * std::sqrt(x2 + 1.0) + 3.0 * std::asinh(x);
+}
+
+Real g_ch(Real x) {
+    const Real x2 = x * x;
+    return 8.0 * x * x2 * (std::sqrt(1.0 + x2) - 1.0) - f_ch(x);
+}
+
+// df/dx = 8 x^4 / sqrt(1+x^2)
+Real dfdx_ch(Real x) {
+    const Real x2 = x * x;
+    return 8.0 * x2 * x2 / std::sqrt(1.0 + x2);
+}
+
+Real ionGasConst(Real abar) { return k_B / (abar * m_u); } // erg/g/K
+
+void finishState(EosState& s) {
+    // Gamma1 from the standard thermodynamic identity
+    //   Gamma1 = chi_rho + chi_T^2 * P / (rho T cv)
+    const Real chi_rho = s.dpdr * s.rho / s.p;
+    const Real chi_T = s.dpdT * s.T / s.p;
+    s.gamma1 = chi_rho + chi_T * chi_T * s.p / (s.rho * s.T * s.cv);
+    s.cs = std::sqrt(std::max(s.gamma1 * s.p / s.rho, Real(0)));
+}
+
+} // namespace
+
+// --- GammaLawEos ----------------------------------------------------------
+
+void GammaLawEos::rhoT(EosState& s) const {
+    const Real cv = ionGasConst(s.abar) / (gamma - 1.0);
+    s.cv = cv;
+    s.e = cv * s.T;
+    s.p = (gamma - 1.0) * s.rho * s.e;
+    s.dpdr = (gamma - 1.0) * s.e;
+    s.dpdT = (gamma - 1.0) * s.rho * cv;
+    finishState(s);
+}
+
+void GammaLawEos::rhoE(EosState& s) const {
+    const Real cv = ionGasConst(s.abar) / (gamma - 1.0);
+    s.T = std::max(s.e / cv, Real(1.0e-30));
+    rhoT(s);
+    // restore the exact input e (rhoT recomputes from T)
+}
+
+void GammaLawEos::rhoP(EosState& s) const {
+    s.e = s.p / ((gamma - 1.0) * s.rho);
+    rhoE(s);
+}
+
+// --- HelmLiteEos ----------------------------------------------------------
+
+Real HelmLiteEos::xOf(Real rho, Real ye) {
+    return std::cbrt(rho * ye / C_ne);
+}
+
+Real HelmLiteEos::pDegenerate(Real rho, Real ye) { return A_ch * f_ch(xOf(rho, ye)); }
+
+Real HelmLiteEos::eDegenerate(Real rho, Real ye) {
+    return A_ch * g_ch(xOf(rho, ye)) / rho;
+}
+
+Real HelmLiteEos::dpDegDrho(Real rho, Real ye) {
+    const Real x = xOf(rho, ye);
+    // dP/drho = A f'(x) * dx/drho, dx/drho = x / (3 rho).
+    return A_ch * dfdx_ch(x) * x / (3.0 * rho);
+}
+
+void HelmLiteEos::rhoT(EosState& s) const {
+    const Real Rion = ionGasConst(s.abar);
+    const Real p_deg = pDegenerate(s.rho, s.ye);
+    const Real e_deg = eDegenerate(s.rho, s.ye);
+    const Real p_ion = s.rho * Rion * s.T;
+    const Real p_rad = a_rad * s.T * s.T * s.T * s.T / 3.0;
+    s.p = p_deg + p_ion + p_rad;
+    s.e = e_deg + 1.5 * Rion * s.T + a_rad * std::pow(s.T, 4) / s.rho;
+    s.cv = 1.5 * Rion + 4.0 * a_rad * s.T * s.T * s.T / s.rho;
+    s.dpdT = s.rho * Rion + (4.0 / 3.0) * a_rad * s.T * s.T * s.T;
+    // (dp/drho)_T: degenerate part analytic; ion part Rion*T; radiation 0;
+    // e_deg depends on rho so its p-contribution is already in p_deg.
+    s.dpdr = dpDegDrho(s.rho, s.ye) + Rion * s.T;
+    finishState(s);
+}
+
+void HelmLiteEos::rhoE(EosState& s) const {
+    // Invert e(T) = e_deg(rho) + 1.5 R T + a T^4 / rho by Newton.
+    const Real Rion = ionGasConst(s.abar);
+    const Real e_target = s.e;
+    const Real e_th = std::max(e_target - eDegenerate(s.rho, s.ye),
+                               1.0e-10 * std::abs(e_target) + 1.0e-10);
+    Real T = std::max(s.T, e_th / (1.5 * Rion)); // ion-dominated guess
+    for (int it = 0; it < 60; ++it) {
+        const Real e_of_T = 1.5 * Rion * T + a_rad * std::pow(T, 4) / s.rho;
+        const Real cv = 1.5 * Rion + 4.0 * a_rad * T * T * T / s.rho;
+        const Real dT = (e_th - e_of_T) / cv;
+        T += dT;
+        T = std::max(T, Real(1.0e2));
+        if (std::abs(dT) < 1.0e-12 * T) break;
+    }
+    s.T = T;
+    rhoT(s);
+    s.e = e_target; // keep the caller's energy exactly
+}
+
+void HelmLiteEos::rhoP(EosState& s) const {
+    // Invert p(T) at fixed rho by Newton.
+    const Real Rion = ionGasConst(s.abar);
+    const Real p_target = s.p;
+    const Real p_th = p_target - pDegenerate(s.rho, s.ye);
+    Real T = std::max({s.T, p_th / (s.rho * Rion), Real(1.0e4)});
+    if (p_th <= 0.0) {
+        // Fully degenerate: temperature is (nearly) undetermined by p;
+        // return a cold state.
+        s.T = 1.0e4;
+        rhoT(s);
+        return;
+    }
+    for (int it = 0; it < 60; ++it) {
+        const Real p_of_T = s.rho * Rion * T + a_rad * std::pow(T, 4) / 3.0;
+        const Real dpdT = s.rho * Rion + (4.0 / 3.0) * a_rad * T * T * T;
+        const Real dT = (p_th - p_of_T) / dpdT;
+        T += dT;
+        T = std::max(T, Real(1.0e2));
+        if (std::abs(dT) < 1.0e-12 * T) break;
+    }
+    s.T = T;
+    rhoT(s);
+}
+
+} // namespace exa
+
+namespace exa {
+
+Real rhoFromPT(const Eos& eos, Real p_target, Real T, Real abar, Real ye,
+               Real rho_guess) {
+    Real rho = rho_guess;
+    for (int it = 0; it < 80; ++it) {
+        EosState s;
+        s.rho = rho;
+        s.T = T;
+        s.abar = abar;
+        s.ye = ye;
+        eos.rhoT(s);
+        Real drho = (p_target - s.p) / std::max(s.dpdr, Real(1.0e-30));
+        drho = std::clamp(drho, -0.5 * rho, 0.5 * rho);
+        rho += drho;
+        if (std::abs(drho) < 1.0e-13 * rho) break;
+    }
+    return rho;
+}
+
+} // namespace exa

@@ -1,0 +1,91 @@
+#pragma once
+
+#include "core/real.hpp"
+
+namespace exa {
+
+// Thermodynamic state of one zone. Composition enters through the mean
+// ion mass abar = (sum X_i/A_i)^-1 and electron fraction ye = zbar/abar,
+// which the caller computes from the network's species.
+struct EosState {
+    Real rho = 0.0;  // density [g/cm^3]
+    Real T = 0.0;    // temperature [K]
+    Real p = 0.0;    // pressure [erg/cm^3]
+    Real e = 0.0;    // specific internal energy [erg/g]
+    Real cs = 0.0;   // adiabatic sound speed [cm/s]
+    Real gamma1 = 0.0; // first adiabatic exponent
+    Real cv = 0.0;   // specific heat at constant volume [erg/g/K]
+    Real dpdr = 0.0; // (dp/drho)_T
+    Real dpdT = 0.0; // (dp/dT)_rho
+    Real abar = 1.0; // mean ion mass number
+    Real ye = 0.5;   // electron fraction
+};
+
+// Simple ideal-gas EOS with constant gamma: p = (gamma-1) rho e. Used for
+// the Sedov benchmark, exactly as LULESH-class hydro benchmarks do.
+struct GammaLawEos {
+    Real gamma = 1.4;
+
+    void rhoT(EosState& s) const; // inputs rho, T -> e, p, cs, ...
+    void rhoE(EosState& s) const; // inputs rho, e -> T, p, cs, ...
+    void rhoP(EosState& s) const; // inputs rho, p -> T, e, cs, ...
+};
+
+// "Helmholtz-lite": the white-dwarf-matter EOS — zero-temperature
+// relativistic degenerate electrons (exact Chandrasekhar closed form) +
+// ideal ions + radiation. This substitutes for the tabulated Helmholtz
+// EOS of the production Microphysics: it preserves the properties the
+// paper's science result depends on — degeneracy pressure supporting the
+// star almost independent of T ("this type of matter does not expand much
+// when heated ... so the heat from nuclear reactions easily gets trapped
+// and causes even more energy release"), with thermal pressure a small
+// ion/radiation correction.
+struct HelmLiteEos {
+    void rhoT(EosState& s) const;
+    void rhoE(EosState& s) const; // Newton on T
+    void rhoP(EosState& s) const; // Newton on T
+
+    // Degenerate-electron-only pieces (x = relativity parameter).
+    static Real xOf(Real rho, Real ye);
+    static Real pDegenerate(Real rho, Real ye);
+    static Real eDegenerate(Real rho, Real ye); // specific energy
+    static Real dpDegDrho(Real rho, Real ye);
+};
+
+// Forward declaration (defined below).
+class Eos;
+
+// Invert p(rho) at fixed T and composition by Newton iteration (uses the
+// analytic (dp/drho)_T). Shared by the hydrostatic-model builders.
+Real rhoFromPT(const Eos& eos, Real p_target, Real T, Real abar, Real ye,
+               Real rho_guess);
+
+// Runtime-dispatched EOS handle so application code can switch between
+// the two without templates.
+class Eos {
+public:
+    enum class Kind { GammaLaw, HelmLite };
+
+    Eos() : m_kind(Kind::GammaLaw) {}
+    explicit Eos(GammaLawEos g) : m_kind(Kind::GammaLaw), m_gamma(g) {}
+    explicit Eos(HelmLiteEos h) : m_kind(Kind::HelmLite), m_helm(h) {}
+
+    Kind kind() const { return m_kind; }
+
+    void rhoT(EosState& s) const {
+        m_kind == Kind::GammaLaw ? m_gamma.rhoT(s) : m_helm.rhoT(s);
+    }
+    void rhoE(EosState& s) const {
+        m_kind == Kind::GammaLaw ? m_gamma.rhoE(s) : m_helm.rhoE(s);
+    }
+    void rhoP(EosState& s) const {
+        m_kind == Kind::GammaLaw ? m_gamma.rhoP(s) : m_helm.rhoP(s);
+    }
+
+private:
+    Kind m_kind;
+    GammaLawEos m_gamma{};
+    HelmLiteEos m_helm{};
+};
+
+} // namespace exa

@@ -1,0 +1,389 @@
+#include "microphysics/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace exa {
+
+namespace {
+// erg per gram per (mol/g) of reactions with Q in MeV.
+constexpr Real erg_per_MeV_mol = constants::MeV_to_erg * constants::N_A;
+// Factorials for symmetry factors of identical reactants.
+constexpr Real factorial[4] = {1.0, 1.0, 2.0, 6.0};
+// Weak-screening validity cap on the enhancement exponent.
+constexpr Real screen_cap = 2.0;
+} // namespace
+
+Real RateFit::eval(Real T9, Real& dln_dT9) const {
+    T9 = std::max(T9, Real(1.0e-4));
+    const Real cbrtT9 = std::cbrt(T9);
+    const Real lnr = eta * std::log(T9) - tau / cbrtT9 - invT / T9 - lin * T9;
+    dln_dT9 = eta / T9 + tau / (3.0 * cbrtT9 * T9) + invT / (T9 * T9) - lin;
+    return c0 * std::exp(lnr);
+}
+
+ReactionNetwork::ReactionNetwork(std::string name, std::vector<Species> species,
+                                 std::vector<Reaction> reactions)
+    : m_name(std::move(name)),
+      m_species(std::move(species)),
+      m_reactions(std::move(reactions)) {
+    // Q values follow from the mass excesses, so edot and the abundance
+    // changes are exactly consistent.
+    for (auto& rx : m_reactions) {
+        Real q = 0.0;
+        for (const auto& [sp, cnt] : rx.reactants) q += cnt * m_species[sp].excess_MeV;
+        for (const auto& [sp, cnt] : rx.products) q -= cnt * m_species[sp].excess_MeV;
+        rx.Q_MeV = q;
+    }
+}
+
+int ReactionNetwork::speciesIndex(const std::string& nm) const {
+    for (int i = 0; i < nspec(); ++i) {
+        if (m_species[i].name == nm) return i;
+    }
+    return -1;
+}
+
+Real ReactionNetwork::abar(const Real* X) const {
+    Real inv = 0.0;
+    for (int i = 0; i < nspec(); ++i) inv += X[i] / m_species[i].A;
+    return 1.0 / std::max(inv, Real(1.0e-30));
+}
+
+Real ReactionNetwork::zbar(const Real* X) const {
+    Real zy = 0.0;
+    for (int i = 0; i < nspec(); ++i) zy += X[i] * m_species[i].Z / m_species[i].A;
+    return zy * abar(X);
+}
+
+void ReactionNetwork::xToY(const Real* X, Real* Y) const {
+    for (int i = 0; i < nspec(); ++i) Y[i] = X[i] / m_species[i].A;
+}
+
+void ReactionNetwork::yToX(const Real* Y, Real* X) const {
+    for (int i = 0; i < nspec(); ++i) X[i] = Y[i] * m_species[i].A;
+}
+
+Real ReactionNetwork::energyFromAbundanceChange(const Real* Y0, const Real* Y1) const {
+    Real de = 0.0;
+    for (int i = 0; i < nspec(); ++i) {
+        de -= (Y1[i] - Y0[i]) * m_species[i].excess_MeV;
+    }
+    return de * erg_per_MeV_mol;
+}
+
+Real ReactionNetwork::screeningFactor(const Reaction& r, Real rho, Real T,
+                                      const Real* Y, Real* dH_dT, Real* dH_dzeta,
+                                      Real* zeta_out) const {
+    if (dH_dT != nullptr) *dH_dT = 0.0;
+    if (dH_dzeta != nullptr) *dH_dzeta = 0.0;
+    if (zeta_out != nullptr) *zeta_out = 0.0;
+    if (!screening_enabled || r.z1 <= 0.0 || r.z2 <= 0.0) return 1.0;
+    // Graboske et al. (1973) weak screening: H = 0.188 Z1 Z2
+    // sqrt(zeta rho) T6^{-3/2}, zeta = sum (Z_i^2 + Z_i) Y_i.
+    Real zeta = 0.0;
+    for (int i = 0; i < nspec(); ++i) {
+        zeta += (m_species[i].Z * m_species[i].Z + m_species[i].Z) *
+                std::max(Y[i], Real(0));
+    }
+    const Real T6 = T / 1.0e6;
+    const Real H = 0.188 * r.z1 * r.z2 * std::sqrt(std::max(zeta, Real(0)) * rho) /
+                   std::pow(T6, 1.5);
+    if (H >= screen_cap) return std::exp(screen_cap); // saturated: flat
+    if (dH_dT != nullptr) *dH_dT = -1.5 * H / T;
+    if (dH_dzeta != nullptr && zeta > 0.0) *dH_dzeta = 0.5 * H / zeta;
+    if (zeta_out != nullptr) *zeta_out = zeta;
+    return std::exp(H);
+}
+
+void ReactionNetwork::rates(Real rho, Real T, const Real* Y, Real* R,
+                            Real* dlnRdT) const {
+    const Real T9 = T / 1.0e9;
+    for (int r = 0; r < numReactions(); ++r) {
+        const Reaction& rx = m_reactions[r];
+        Real dln_dT9 = 0.0;
+        Real dH_dT = 0.0;
+        const Real lam =
+            rx.fit.eval(T9, dln_dT9) * screeningFactor(rx, rho, T, Y, &dH_dT);
+        // Molar rate per gram: lambda * rho^(n_tot-1) * prod Y^n / sym.
+        int ntot = 0;
+        Real yprod = 1.0;
+        Real sym = 1.0;
+        for (const auto& [sp, cnt] : rx.reactants) {
+            ntot += cnt;
+            for (int c = 0; c < cnt; ++c) yprod *= std::max(Y[sp], Real(0));
+            sym *= factorial[cnt];
+        }
+        R[r] = lam * std::pow(rho, ntot - 1) * yprod / sym;
+        if (dlnRdT != nullptr) dlnRdT[r] = dln_dT9 / 1.0e9 + dH_dT;
+    }
+}
+
+void ReactionNetwork::ydot(Real rho, Real T, const Real* Y, Real* dYdt,
+                           Real& edot) const {
+    std::vector<Real> R(numReactions());
+    rates(rho, T, Y, R.data(), nullptr);
+    std::fill(dYdt, dYdt + nspec(), 0.0);
+    edot = 0.0;
+    for (int r = 0; r < numReactions(); ++r) {
+        const Reaction& rx = m_reactions[r];
+        for (const auto& [sp, cnt] : rx.reactants) dYdt[sp] -= cnt * R[r];
+        for (const auto& [sp, cnt] : rx.products) dYdt[sp] += cnt * R[r];
+        edot += R[r] * rx.Q_MeV * erg_per_MeV_mol;
+    }
+}
+
+void ReactionNetwork::jacobian(Real rho, Real T, const Real* Y, Real cv,
+                               DenseMatrix& J) const {
+    const int n = nspec();
+    assert(J.size() == n + 1);
+    J.setZero();
+    std::vector<Real> R(numReactions()), dlnRdT(numReactions());
+    rates(rho, T, Y, R.data(), dlnRdT.data());
+
+    Real dedotdT = 0.0;
+    std::vector<Real> dedotdY(n, 0.0);
+
+    for (int r = 0; r < numReactions(); ++r) {
+        const Reaction& rx = m_reactions[r];
+        const Real q = rx.Q_MeV * erg_per_MeV_mol;
+
+        Real dH_dT = 0.0, dH_dzeta = 0.0, zeta = 0.0;
+        Real dln_dT9_unused = 0.0;
+        const Real lam = rx.fit.eval(T / 1.0e9, dln_dT9_unused) *
+                         screeningFactor(rx, rho, T, Y, &dH_dT, &dH_dzeta, &zeta);
+
+        auto addColumn = [&](int k, Real dRdYk) {
+            for (const auto& [sp, cnt] : rx.reactants) J(sp, k) -= cnt * dRdYk;
+            for (const auto& [sp, cnt] : rx.products) J(sp, k) += cnt * dRdYk;
+            dedotdY[k] += q * dRdYk;
+        };
+
+        // Direct abundance dependence of the rate.
+        for (const auto& [k, cnt_k] : rx.reactants) {
+            Real dRdYk = 1.0;
+            int ntot = 0;
+            Real sym = 1.0;
+            for (const auto& [sp, cnt] : rx.reactants) {
+                ntot += cnt;
+                sym *= factorial[cnt];
+                const int power = (sp == k) ? cnt - 1 : cnt;
+                for (int c = 0; c < power; ++c) dRdYk *= std::max(Y[sp], Real(0));
+            }
+            dRdYk *= cnt_k * lam * std::pow(rho, ntot - 1) / sym;
+            addColumn(k, dRdYk);
+        }
+
+        // Screening's composition dependence (dH/dzeta * dzeta/dY_k) is
+        // deliberately omitted, following the production aprox13: it would
+        // densify the Jacobian (every screened rate depends on every
+        // abundance through zeta) and its magnitude is O(H) ~ few percent.
+        // The modified-Newton corrector absorbs the approximation.
+        (void)dH_dzeta;
+        (void)zeta;
+
+        // Temperature dependence (rate fit + screening).
+        const Real dRdT = R[r] * dlnRdT[r];
+        for (const auto& [sp, cnt] : rx.reactants) J(sp, n) -= cnt * dRdT;
+        for (const auto& [sp, cnt] : rx.products) J(sp, n) += cnt * dRdT;
+        dedotdT += q * dRdT;
+    }
+    // Temperature row: d(dT/dt)/dY_k = dedot/dY_k / cv, etc. (cv variation
+    // neglected; the modified-Newton corrector tolerates approximate J).
+    for (int k = 0; k < n; ++k) J(n, k) = dedotdY[k] / cv;
+    J(n, n) = dedotdT / cv;
+}
+
+std::vector<char> ReactionNetwork::sparsity() const {
+    const int n = nspec() + 1;
+    std::vector<char> pat(static_cast<std::size_t>(n) * n, 0);
+    auto set = [&](int i, int j) { pat[static_cast<std::size_t>(i) * n + j] = 1; };
+    for (int i = 0; i < n; ++i) set(i, i);
+    for (const auto& rx : m_reactions) {
+        std::vector<int> touched;
+        for (const auto& [sp, cnt] : rx.reactants) touched.push_back(sp);
+        for (const auto& [sp, cnt] : rx.products) touched.push_back(sp);
+        for (int i : touched) {
+            for (const auto& [k, cnt] : rx.reactants) set(i, k);
+            set(i, nspec());          // all rates depend on T
+            set(nspec(), i);          // edot couples back to T  (row)
+        }
+        for (const auto& [k, cnt] : rx.reactants) set(nspec(), k);
+    }
+    set(nspec(), nspec());
+    return pat;
+}
+
+Real ReactionNetwork::temperatureSensitivity(Real rho, Real T, const Real* Y) const {
+    std::vector<Real> R(numReactions()), dlnRdT(numReactions());
+    rates(rho, T, Y, R.data(), dlnRdT.data());
+    Real edot = 0.0, dedotdT = 0.0;
+    for (int r = 0; r < numReactions(); ++r) {
+        const Real q = m_reactions[r].Q_MeV * erg_per_MeV_mol;
+        edot += R[r] * q;
+        dedotdT += R[r] * dlnRdT[r] * q;
+    }
+    return edot > 0 ? dedotdT * T / edot : 0.0;
+}
+
+// --- Factories ------------------------------------------------------------
+
+namespace {
+// Gamow exponent for charged-particle reactions.
+Real gamowTau(Real z1, Real z2, Real a1, Real a2) {
+    const Real ared = a1 * a2 / (a1 + a2);
+    return 4.2487 * std::cbrt(z1 * z1 * z2 * z2 * ared);
+}
+} // namespace
+
+ReactionNetwork makeIgnitionSimple() {
+    std::vector<Species> sp = {{"c12", 12, 6, 0.0}, {"mg24", 24, 12, -13.9336}};
+    // CF88 C12+C12 with T9a ~ T9 simplification: N_A<sv> =
+    // 4.27e26 T9^{-2/3} exp(-84.165/T9^{1/3}), tau from Gamow = 84.17.
+    Reaction r;
+    r.label = "c12(c12,g)mg24";
+    r.reactants = {{0, 2}};
+    r.products = {{1, 1}};
+    r.fit = {4.27e26, -2.0 / 3.0, gamowTau(6, 6, 12, 12), 0.0, 0.0};
+    r.z1 = r.z2 = 6.0;
+    return ReactionNetwork("ignition_simple", std::move(sp), {r});
+}
+
+ReactionNetwork makeTripleAlpha() {
+    std::vector<Species> sp = {
+        {"he4", 4, 2, 2.4249}, {"c12", 12, 6, 0.0}, {"o16", 16, 8, -4.7366}};
+    Reaction r3a;
+    r3a.label = "3a(,g)c12";
+    r3a.reactants = {{0, 3}};
+    r3a.products = {{1, 1}};
+    // Resonant triple-alpha (CF88 essence): N_A^2<sv> ~ 2.79e-8 T9^-3
+    // exp(-4.4027/T9); near T9 = 0.1 this gives d ln r / d ln T ~ 41 — the
+    // paper's "as sensitive as T^40".
+    r3a.fit = {2.79e-8, -3.0, 0.0, 4.4027, 0.0};
+    r3a.z1 = 2.0;
+    r3a.z2 = 2.0;
+
+    Reaction rag;
+    rag.label = "c12(a,g)o16";
+    rag.reactants = {{1, 1}, {0, 1}};
+    rag.products = {{2, 1}};
+    rag.fit = {2.0e8, -2.0 / 3.0, gamowTau(2, 6, 4, 12), 0.0, 0.0};
+    rag.z1 = 2.0;
+    rag.z2 = 6.0;
+
+    return ReactionNetwork("triple_alpha", std::move(sp), {r3a, rag});
+}
+
+ReactionNetwork makeAprox13() {
+    // Alpha chain He4 -> Ni56 (13 species), (a,g) links with Gamow
+    // exponents computed per target plus the heavy-ion channels. The
+    // prefactors are order-of-magnitude CF88-like; the performance-
+    // relevant structure (stiffness, sparsity, T sensitivity) is faithful.
+    // Mass excesses in MeV (AME-derived, rounded).
+    std::vector<Species> sp = {
+        {"he4", 4, 2, 2.4249},     {"c12", 12, 6, 0.0},
+        {"o16", 16, 8, -4.7366},   {"ne20", 20, 10, -7.0419},
+        {"mg24", 24, 12, -13.9336}, {"si28", 28, 14, -21.4928},
+        {"s32", 32, 16, -26.0157}, {"ar36", 36, 18, -30.2316},
+        {"ca40", 40, 20, -34.8463}, {"ti44", 44, 22, -37.5484},
+        {"cr48", 48, 24, -42.8155}, {"fe52", 52, 26, -48.3320},
+        {"ni56", 56, 28, -53.9040}};
+    std::vector<Reaction> rx;
+
+    // Triple-alpha entry point.
+    Reaction r3a;
+    r3a.label = "3a(,g)c12";
+    r3a.reactants = {{0, 3}};
+    r3a.products = {{1, 1}};
+    r3a.fit = {2.79e-8, -3.0, 0.0, 4.4027, 0.0};
+    r3a.z1 = r3a.z2 = 2.0;
+    rx.push_back(r3a);
+
+    // (a,g) chain: species i (i >= 1) + he4 -> species i+1.
+    for (int i = 1; i < 12; ++i) {
+        Reaction r;
+        r.label = sp[i].name + "(a,g)" + sp[i + 1].name;
+        r.reactants = {{i, 1}, {0, 1}};
+        r.products = {{i + 1, 1}};
+        const Real tau = gamowTau(2.0, sp[i].Z, 4.0, sp[i].A);
+        // Prefactor scaled so successive links stay within a plausible
+        // CF88 range; larger-Z links are rarer at fixed T via tau.
+        r.fit = {2.0e8 * std::pow(1.6, i - 1), -2.0 / 3.0, tau, 0.0, 0.0};
+        r.z1 = 2.0;
+        r.z2 = sp[i].Z;
+        rx.push_back(r);
+    }
+
+    // Heavy-ion channels.
+    Reaction cc;
+    cc.label = "c12(c12,a)ne20";
+    cc.reactants = {{1, 2}};
+    cc.products = {{3, 1}, {0, 1}};
+    cc.fit = {4.27e26, -2.0 / 3.0, gamowTau(6, 6, 12, 12), 0.0, 0.0};
+    cc.z1 = cc.z2 = 6.0;
+    rx.push_back(cc);
+
+    Reaction co;
+    co.label = "c12(o16,a)mg24";
+    co.reactants = {{1, 1}, {2, 1}};
+    co.products = {{4, 1}, {0, 1}};
+    co.fit = {1.7e27, -2.0 / 3.0, gamowTau(6, 8, 12, 16), 0.0, 0.0};
+    co.z1 = 6.0;
+    co.z2 = 8.0;
+    rx.push_back(co);
+
+    Reaction oo;
+    oo.label = "o16(o16,a)si28";
+    oo.reactants = {{2, 2}};
+    oo.products = {{5, 1}, {0, 1}};
+    oo.fit = {7.1e36, -2.0 / 3.0, gamowTau(8, 8, 16, 16), 0.0, 0.0};
+    oo.z1 = oo.z2 = 8.0;
+    rx.push_back(oo);
+
+    return ReactionNetwork("aprox13", std::move(sp), std::move(rx));
+}
+
+ReactionNetwork makeAprox13WithReverse() {
+    ReactionNetwork fwd = makeAprox13();
+    std::vector<Species> sp;
+    for (int i = 0; i < fwd.nspec(); ++i) sp.push_back(fwd.species(i));
+    std::vector<Reaction> rx;
+    for (int r = 0; r < fwd.numReactions(); ++r) rx.push_back(fwd.reaction(r));
+
+    // Detailed-balance reverse for every (a,g) capture: a one-body
+    // photodisintegration whose rate carries the forward Gamow factor
+    // plus the T9^{3/2} exp(-Q/kT) phase-space ratio (kT in MeV:
+    // Q/kT = 11.605 * Q[MeV] / T9). The prefactor sets the equilibrium
+    // scale; 1e10 puts the (a,g)/(g,a) crossover near T9 ~ 4-5, as in
+    // the production network.
+    std::vector<Reaction> rev;
+    for (const Reaction& r : rx) {
+        // Only the (a,g) links: two distinct reactants, one of them he4,
+        // and a single capture product.
+        const bool is_ag = r.reactants.size() == 2 && r.products.size() == 1 &&
+                           (r.reactants[0].first == 0 || r.reactants[1].first == 0);
+        if (!is_ag) continue;
+        Reaction b;
+        b.label = r.label + "_rev";
+        b.reactants = {{r.products[0].first, 1}};
+        b.products = r.reactants;
+        b.fit = r.fit;
+        b.fit.c0 *= 1.0e10;
+        b.fit.eta += 1.5;
+        // Q of the reverse is -Q of the forward; computed from the mass
+        // excesses by the constructor. The Boltzmann suppression uses the
+        // forward Q value.
+        Real q = 0.0;
+        for (const auto& [spi, cnt] : r.reactants) q += cnt * sp[spi].excess_MeV;
+        for (const auto& [spi, cnt] : r.products) q -= cnt * sp[spi].excess_MeV;
+        b.fit.invT += 11.605 * q;
+        b.z1 = 0.0; // no Coulomb barrier for the photon
+        b.z2 = 0.0;
+        rev.push_back(b);
+    }
+    rx.insert(rx.end(), rev.begin(), rev.end());
+    return ReactionNetwork("aprox13+rev", std::move(sp), std::move(rx));
+}
+
+} // namespace exa

@@ -1,0 +1,137 @@
+#pragma once
+
+#include "core/real.hpp"
+#include "microphysics/linalg.hpp"
+
+#include <string>
+#include <vector>
+
+namespace exa {
+
+// One nuclear species.
+struct Species {
+    std::string name;
+    Real A = 1.0; // mass number
+    Real Z = 1.0; // charge number
+    // Atomic mass excess [MeV]. Reaction Q values are computed from these,
+    // so energy release is exactly consistent with abundance changes:
+    // e_nuc = -N_A * sum_i dY_i * excess_i.
+    Real excess_MeV = 0.0;
+};
+
+// Analytic thermonuclear rate fit:
+//   lambda(T9) = c0 * T9^eta * exp(-tau/T9^(1/3) - invT/T9 - lin*T9)
+// c0 carries the units (N_A<sigma v> for 2-body, N_A^2<sigma v> for
+// 3-body). tau is the Gamow exponent 4.2487*(Z1^2 Z2^2 Ared)^(1/3) for
+// non-resonant charged-particle rates; invT captures resonant forms like
+// triple-alpha's exp(-4.4027/T9). This family is the paper-relevant
+// essence of the CF88/REACLIB fits: extreme temperature sensitivity
+// (d ln lambda / d ln T up to ~40 near helium-burning conditions).
+struct RateFit {
+    Real c0 = 0.0;
+    Real eta = 0.0;
+    Real tau = 0.0;
+    Real invT = 0.0;
+    Real lin = 0.0;
+
+    Real eval(Real T9, Real& dln_dT9) const;
+};
+
+// A reaction with up to two distinct reactant/product species (with
+// multiplicities, so "3 He4 -> C12" is reactants {{ihe4,3}}).
+struct Reaction {
+    std::string label;
+    std::vector<std::pair<int, int>> reactants; // (species index, count)
+    std::vector<std::pair<int, int>> products;
+    RateFit fit;
+    Real Q_MeV = 0.0; // energy release per reaction (set from mass excesses
+                      // by the ReactionNetwork constructor)
+    Real z1 = 0.0, z2 = 0.0; // charges for the screening factor (0 = none)
+};
+
+// A reaction network assembled from species + reactions, with generic
+// analytic right-hand sides and Jacobians. Mirrors the role of the
+// aprox13/ignition_simple modules in AMReX-Astro Microphysics.
+class ReactionNetwork {
+public:
+    ReactionNetwork(std::string name, std::vector<Species> species,
+                    std::vector<Reaction> reactions);
+
+    const std::string& name() const { return m_name; }
+    int nspec() const { return static_cast<int>(m_species.size()); }
+    int numReactions() const { return static_cast<int>(m_reactions.size()); }
+    const Species& species(int i) const { return m_species[i]; }
+    const Reaction& reaction(int r) const { return m_reactions[r]; }
+    int speciesIndex(const std::string& name) const; // -1 if absent
+
+    // Composition means from mass fractions X.
+    Real abar(const Real* X) const;
+    Real zbar(const Real* X) const;
+    Real ye(const Real* X) const { return zbar(X) / abar(X); }
+
+    // Mass fractions <-> molar abundances Y_i = X_i / A_i.
+    void xToY(const Real* X, Real* Y) const;
+    void yToX(const Real* Y, Real* X) const;
+
+    // Molar reaction rates R_r [mol/(g s)] and optional d(lnR)/dT.
+    void rates(Real rho, Real T, const Real* Y, Real* R, Real* dlnRdT) const;
+
+    // dY_i/dt and the specific energy generation rate edot [erg/(g s)].
+    void ydot(Real rho, Real T, const Real* Y, Real* dYdt, Real& edot) const;
+
+    // Analytic Jacobian of the coupled (Y_0..Y_{N-1}, T) system with
+    // dT/dt = edot / cv: J is (N+1)x(N+1).
+    void jacobian(Real rho, Real T, const Real* Y, Real cv, DenseMatrix& J) const;
+
+    // Structural nonzeros of the (N+1)^2 Jacobian: species couple only
+    // through shared reactions; the T row/column is dense. For the
+    // 13-isotope alpha chain roughly 40% of the matrix is empty, matching
+    // the paper's Section VI estimate.
+    std::vector<char> sparsity() const;
+
+    // Peak d ln(edot) / d ln T over the rate set at the given state — the
+    // paper's "temperature dependence as sensitive as T^40".
+    Real temperatureSensitivity(Real rho, Real T, const Real* Y) const;
+
+    // Specific energy [erg/g] released by the abundance change Y0 -> Y1
+    // (exact, from mass excesses; independent of the thermal path).
+    Real energyFromAbundanceChange(const Real* Y0, const Real* Y1) const;
+
+    bool screening_enabled = true;
+
+private:
+    // Screening enhancement exp(H) plus the derivatives of H needed for
+    // the analytic Jacobian: dH/dT and dH/dY_k (through zeta).
+    Real screeningFactor(const Reaction& r, Real rho, Real T, const Real* Y,
+                         Real* dH_dT = nullptr, Real* dH_dzeta = nullptr,
+                         Real* zeta_out = nullptr) const;
+
+    std::string m_name;
+    std::vector<Species> m_species;
+    std::vector<Reaction> m_reactions;
+};
+
+// --- Factories (the networks used in the paper's runs) -------------------
+
+// 2-species carbon-fusion network (MAESTROeX reacting bubble, Fig. 3:
+// "we only model N = 2 reacting nuclei"): 2 C12 -> Mg24.
+ReactionNetwork makeIgnitionSimple();
+
+// 3-species helium-burning network: 3 He4 -> C12, C12(a,g)O16.
+ReactionNetwork makeTripleAlpha();
+
+// 13-species alpha-chain network (the WD collision run's "N = 13
+// elements"): He4 through Ni56 with (a,g) links plus the heavy-ion
+// C12+C12, C12+O16, O16+O16 channels.
+ReactionNetwork makeAprox13();
+
+// aprox13 with reverse (gamma,a) photodisintegration channels built from
+// detailed balance against each forward (a,g) link: lambda_rev ~
+// T9^{3/2} exp(-11.605 Q / T9) * lambda_fwd. At T9 >~ 4-5 the reverse
+// flows compete with the captures, pushing the composition toward
+// quasi-equilibrium — the stiffness regime the production network
+// integrates near ignition. Denser Jacobian (closer to the paper's "40%
+// empty" figure) and stiffer systems than the forward-only variant.
+ReactionNetwork makeAprox13WithReverse();
+
+} // namespace exa

@@ -1,0 +1,161 @@
+#include "perf/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exa {
+
+void nearCubicFactors(int n, int& fx, int& fy, int& fz) {
+    fx = fy = fz = 1;
+    // Repeatedly pull the largest prime factor onto the smallest axis.
+    int rem = n;
+    auto smallest_axis = [&]() -> int& {
+        if (fx <= fy && fx <= fz) return fx;
+        if (fy <= fx && fy <= fz) return fy;
+        return fz;
+    };
+    for (int p = 2; rem > 1;) {
+        if (rem % p == 0) {
+            smallest_axis() *= p;
+            rem /= p;
+        } else {
+            ++p;
+            if (p * p > rem) {
+                smallest_axis() *= rem;
+                rem = 1;
+            }
+        }
+    }
+}
+
+double WeakScalingModel::computeTime(std::int64_t boxes_per_rank,
+                                     std::int64_t zones_per_box,
+                                     const StepModel& step) const {
+    DeviceModel dev(m_machine.gpu);
+    double body = 0.0;
+    double launches = 0.0;
+    for (const auto& ks : step.kernels) {
+        const double zl = static_cast<double>(zones_per_box) * ks.zones_fraction;
+        const double n_launch = ks.launches_per_box_per_step * boxes_per_rank;
+        body += n_launch * dev.bodyTime(ks.info, static_cast<std::int64_t>(zl));
+        launches += n_launch;
+    }
+    // Streams overlap launch latency across boxes (paper: "multiple CUDA
+    // streams ... only partially mitigates").
+    const int streams = std::max(1, m_machine.streams_per_rank);
+    return body + launches * m_machine.gpu.launch_latency / streams;
+}
+
+double WeakScalingModel::mgTime(const RegularDecomposition& fine, int nranks,
+                                int nodes, std::int64_t boxes_per_rank_finest,
+                                const MultigridModel& mg) const {
+    DeviceModel dev(m_machine.gpu);
+    double per_cycle = 0.0;
+
+    RegularDecomposition d = fine;
+    d.ncomp = mg.ncomp;
+    d.ngrow = 1;
+    std::int64_t boxes_per_rank = boxes_per_rank_finest;
+    while (true) {
+        const std::int64_t zones_per_box = d.zonesPerBox();
+        // Smoothing sweeps: compute + one halo exchange per sweep.
+        const double smooth_body =
+            dev.bodyTime(mg.smooth_kernel, zones_per_box) * boxes_per_rank;
+        CommLedger ledger;
+        buildHaloPattern(d, nranks, ledger);
+        RankLayout layout{nodes, m_machine.gpus_per_node};
+        const double halo = ledger.phaseTime(layout, m_machine.net);
+        per_cycle += mg.smooth_sweeps_per_level *
+                     (smooth_body + m_machine.gpu.launch_latency * boxes_per_rank +
+                      halo);
+        // Residual-norm reduction once per level per cycle, plus the
+        // restriction/prolongation transfers, which synchronize (almost)
+        // all ranks around data that shrinks to nothing at coarse levels —
+        // the latency-bound heart of "the multigrid solve is extremely
+        // communication bound" (Section IV-B).
+        per_cycle += m_machine.net.allreduceTime(8, nranks, nodes);
+        per_cycle += 2.0 * m_machine.net.barrierTime(nranks, nodes);
+
+        // Coarsen by 2 until a single small box remains.
+        const bool at_bottom = (d.nbx * d.bx <= mg.coarsest_side) &&
+                               (d.nby * d.by <= mg.coarsest_side) &&
+                               (d.nbz * d.bz <= mg.coarsest_side);
+        if (at_bottom) {
+            // Bottom solve: many relaxation iterations on a grid far too
+            // small to occupy anyone, each one a latency-bound global
+            // exchange.
+            per_cycle += mg.bottom_smooth *
+                         (m_machine.gpu.launch_latency +
+                          m_machine.net.barrierTime(nranks, nodes));
+            break;
+        }
+        auto shrink = [](int& nb, int& b) {
+            if (b > 1) {
+                b = std::max(1, b / 2);
+            } else {
+                nb = std::max(1, nb / 2);
+            }
+        };
+        shrink(d.nbx, d.bx);
+        shrink(d.nby, d.by);
+        shrink(d.nbz, d.bz);
+        const std::int64_t nboxes = d.numBoxes();
+        boxes_per_rank = std::max<std::int64_t>(1, (nboxes + nranks - 1) / nranks);
+    }
+    return mg.vcycles_per_step * per_cycle;
+}
+
+ScalingPoint WeakScalingModel::run(int nodes, int per_node_zones, int box_size,
+                                   const StepModel& step,
+                                   const MultigridModel* mg) const {
+    ScalingPoint pt;
+    pt.nodes = nodes;
+
+    // Tile the per-node cube across nodes near-cubically.
+    int fx, fy, fz;
+    nearCubicFactors(nodes, fx, fy, fz);
+    RegularDecomposition d;
+    d.bx = d.by = d.bz = box_size;
+    d.nbx = fx * per_node_zones / box_size;
+    d.nby = fy * per_node_zones / box_size;
+    d.nbz = fz * per_node_zones / box_size;
+    d.ngrow = step.halo_ngrow;
+    d.ncomp = step.halo_ncomp;
+
+    const int nranks = nodes * m_machine.gpus_per_node;
+    const std::int64_t nboxes = d.numBoxes();
+    const std::int64_t boxes_per_rank =
+        std::max<std::int64_t>(1, (nboxes + nranks - 1) / nranks);
+    pt.imbalance = static_cast<double>(boxes_per_rank) * nranks / nboxes;
+
+    pt.compute_s = computeTime(boxes_per_rank, d.zonesPerBox(), step);
+
+    CommLedger ledger;
+    buildHaloPattern(d, nranks, ledger);
+    RankLayout layout{nodes, m_machine.gpus_per_node};
+    pt.halo_s = step.fillboundary_phases_per_step * ledger.phaseTime(layout, m_machine.net);
+
+    pt.collective_s =
+        step.allreduces_per_step * m_machine.net.allreduceTime(8, nranks, nodes);
+
+    if (mg != nullptr) {
+        pt.mg_s = mgTime(d, nranks, nodes, boxes_per_rank, *mg);
+    }
+
+    pt.total_s = pt.compute_s + pt.halo_s + pt.collective_s + pt.mg_s;
+    const double zones = d.totalZones();
+    pt.zones_per_usec = zones / (pt.total_s * 1.0e6);
+    return pt;
+}
+
+double WeakScalingModel::singleGpuZonesPerUsec(int domain_zones_per_dim, int box_size,
+                                               const StepModel& step) const {
+    RegularDecomposition d;
+    d.bx = d.by = d.bz = box_size;
+    d.nbx = d.nby = d.nbz = std::max(1, domain_zones_per_dim / box_size);
+    const std::int64_t nboxes = d.numBoxes();
+    const double t = computeTime(nboxes, d.zonesPerBox(), step);
+    return d.totalZones() / (t * 1.0e6);
+}
+
+} // namespace exa

@@ -1,0 +1,97 @@
+#pragma once
+
+#include "comm/halo_pattern.hpp"
+#include "perf/device_model.hpp"
+
+#include <vector>
+
+namespace exa {
+
+// One kernel family in a timestep, with how often it launches per box.
+// Benches extract these from a real (small-scale) run's DeviceModel
+// statistics, so the kernel mix is measured, not assumed.
+struct KernelLaunchSpec {
+    KernelInfo info;
+    double launches_per_box_per_step = 1.0;
+    // Fraction of the box's zones each launch covers (ghost-including
+    // kernels have > 1).
+    double zones_fraction = 1.0;
+};
+
+// Everything the scaling model needs to know about one timestep of an
+// application at one level: compute (kernel mix), halo traffic, and
+// global reductions.
+struct StepModel {
+    std::vector<KernelLaunchSpec> kernels;
+    int fillboundary_phases_per_step = 3; // ghost exchanges per step
+    int halo_ncomp = 5;                   // components exchanged
+    int halo_ngrow = 4;                   // ghost width
+    int allreduces_per_step = 1;          // e.g. CFL dt reduction
+};
+
+// Geometric-multigrid communication/compute model for the globally
+// coupled solves (MAESTROeX projection, Poisson gravity). Each V-cycle
+// smooths on every level; fine levels are bandwidth-bound compute, coarse
+// levels are latency-bound communication over (almost) all ranks — the
+// mechanism behind Figure 3's scaling falloff.
+struct MultigridModel {
+    double vcycles_per_step = 4.0;
+    int smooth_sweeps_per_level = 4; // pre+post smoothing, with a halo
+                                     // exchange per sweep
+    int bottom_smooth = 40;          // bottom-solve iterations: tiny data,
+                                     // every iteration a latency-bound
+                                     // exchange over (nearly) all ranks
+    int ncomp = 1;
+    int coarsest_side = 4; // stop coarsening at this many zones per side
+    KernelInfo smooth_kernel{"mg_smooth", 12.0, 96.0, 40, 1.0};
+};
+
+// Predicted per-step cost breakdown at a given node count.
+struct ScalingPoint {
+    int nodes = 1;
+    double compute_s = 0.0;
+    double halo_s = 0.0;
+    double collective_s = 0.0;
+    double mg_s = 0.0;
+    double total_s = 0.0;
+    double zones_per_usec = 0.0;      // absolute throughput
+    double normalized = 0.0;          // throughput / (nodes * single-node)
+    double imbalance = 1.0;           // box-quantization load factor
+};
+
+// Weak-scaling predictor: replicates a fixed per-node workload across
+// nodes and prices one timestep. Compute times come from the same
+// DeviceModel used by the simulated backend; communication times come
+// from the exact halo pattern of the target decomposition priced by the
+// network model.
+class WeakScalingModel {
+public:
+    explicit WeakScalingModel(const MachineParams& machine) : m_machine(machine) {}
+
+    // per_node_zones: zones per dimension of the PER-NODE cube (e.g. 256
+    // for the paper's canonical Sedov case). box_size: zones per box side.
+    // The global domain is the per-node cube tiled across nodes in a
+    // near-cubic arrangement.
+    ScalingPoint run(int nodes, int per_node_zones, int box_size, const StepModel& step,
+                     const MultigridModel* mg = nullptr) const;
+
+    // Single-GPU throughput for a given box size and domain (for the
+    // box-size sweeps / best-worst tuning curves).
+    double singleGpuZonesPerUsec(int domain_zones_per_dim, int box_size,
+                                 const StepModel& step) const;
+
+    const MachineParams& machine() const { return m_machine; }
+
+private:
+    double computeTime(std::int64_t boxes_per_rank, std::int64_t zones_per_box,
+                       const StepModel& step) const;
+    double mgTime(const RegularDecomposition& d, int nranks, int nodes,
+                  std::int64_t boxes_per_rank_finest, const MultigridModel& mg) const;
+
+    MachineParams m_machine;
+};
+
+// Near-cubic factorization of n into (fx, fy, fz), fx*fy*fz == n.
+void nearCubicFactors(int n, int& fx, int& fy, int& fz);
+
+} // namespace exa

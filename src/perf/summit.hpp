@@ -1,0 +1,67 @@
+#pragma once
+
+#include "comm/network.hpp"
+
+namespace exa {
+
+// Parameters of the simulated NVIDIA V100 (Volta) accelerator, as found in
+// the Summit AC922 nodes used for every measurement in the paper.
+//
+// Published hardware numbers: ~900 GB/s HBM2 bandwidth, 7.8 TF/s FP64,
+// 16 GB memory, 80 SMs x 64 FP64 lanes, 65536 registers per SM, at most
+// 255 registers per thread. Launch latency and the latency-hiding ramp
+// are calibrated so that (a) a streaming kernel saturates near ~100^3
+// zones (Section IV-A: "the problem size that saturates the GPU's compute
+// capacity, ~100^3 zones") and (b) the Castro hydro kernel mix lands near
+// the paper's ~25 zones/usec per V100.
+struct GpuParams {
+    double mem_bw = 900.0e9;       // B/s, HBM2 streaming bandwidth
+    double flops = 7.8e12;         // FP64 FLOP/s
+    double launch_latency = 8.0e-6;// s per kernel launch (incl. driver)
+    double mem_capacity = 16.0e9;  // B, HBM2 capacity
+    double evict_bw = 6.0e9;       // B/s, effective UM oversubscription
+                                   // eviction bandwidth (paper: "much lower
+                                   // ... than the CPU-GPU peak bandwidth")
+    double h2d_bw = 45.0e9;        // B/s, NVLink host<->device (checkpoints)
+    int regs_per_sm = 65536;
+    int max_threads_per_sm = 2048;
+    int max_regs_per_thread = 255; // beyond this the compiler spills
+    double spill_bytes_per_reg = 16.0; // local-memory traffic per spilled
+                                       // register per zone (load + store)
+    double occ_mem_saturation = 0.25;  // occupancy at which HBM saturates
+    double occ_flop_saturation = 0.50; // occupancy at which FP64 saturates
+    double ramp_zones = 1.6e5;         // latency-hiding ramp half point
+    double single_thread_flops = 1.5e9;// FP64 rate of one non-parallel
+                                       // thread (the warp-tail rate when a
+                                       // single igniting zone stalls its
+                                       // launch, Section VI)
+
+    // Fraction of peak threads resident given per-thread register count.
+    double occupancy(int regs_per_thread) const;
+};
+
+// The CPU side of a Summit-class node, used for CPU-vs-GPU throughput
+// comparisons (Section IV: a "modern high-end CPU server node" achieves
+// O(1) zones/usec on the Sedov benchmark, and the bubble problem runs
+// ~20x faster on the GPU node). We model a dual-socket server as a
+// multiple of one measured host core.
+struct CpuNodeParams {
+    int cores = 42;               // Power9 cores per AC922 node (2 x 21)
+    double core_derate = 0.85;    // parallel efficiency of the OpenMP build
+    double parallelSpeedup() const { return cores * core_derate; }
+};
+
+// A Summit-like machine: 6 GPUs per node, one rank per GPU, EDR
+// InfiniBand fat tree. The congestion coefficient is calibrated against
+// Figure 2: canonical Sedov weak scaling falls to ~63% at 512 nodes.
+struct MachineParams {
+    GpuParams gpu;
+    CpuNodeParams cpu;
+    NetworkModel net;
+    int gpus_per_node = 6;
+    int streams_per_rank = 4;
+
+    static MachineParams summit() { return MachineParams{}; }
+};
+
+} // namespace exa

@@ -1,0 +1,221 @@
+#include "solvers/multigrid.hpp"
+
+#include "core/parallel_for.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace exa {
+
+namespace {
+
+bool coarsenable(const Box& b, int min_side) {
+    return b.length(0) % 2 == 0 && b.length(1) % 2 == 0 && b.length(2) % 2 == 0 &&
+           b.length(0) > min_side && b.length(1) > min_side && b.length(2) > min_side;
+}
+
+KernelInfo smoothKernel() { return KernelInfo{"mg_smooth", 12.0, 96.0, 40, 1.0}; }
+KernelInfo residKernel() { return KernelInfo{"mg_residual", 10.0, 80.0, 40, 1.0}; }
+
+} // namespace
+
+Multigrid::Multigrid(const Geometry& geom, MgBC bc) : Multigrid(geom, bc, Options{}) {}
+
+Multigrid::Multigrid(const Geometry& geom, MgBC bc, const Options& opt)
+    : m_bc(bc), m_opt(opt) {
+    // Build the level hierarchy by full coarsening.
+    m_geom.push_back(geom);
+    while (coarsenable(m_geom.back().domain(), m_opt.min_level_side)) {
+        m_geom.push_back(m_geom.back().coarsened(2));
+    }
+    const int nlev = static_cast<int>(m_geom.size());
+    m_ba.resize(nlev);
+    m_dm.resize(nlev);
+    m_phi.resize(nlev);
+    m_rhs.resize(nlev);
+    m_res.resize(nlev);
+    for (int l = 0; l < nlev; ++l) {
+        BoxArray ba(m_geom[l].domain());
+        ba.maxSize(m_opt.max_grid_size);
+        m_ba[l] = ba;
+        m_dm[l] = DistributionMapping(ba, m_opt.nranks);
+        m_phi[l].define(ba, m_dm[l], 1, 1);
+        m_rhs[l].define(ba, m_dm[l], 1, 0);
+        m_res[l].define(ba, m_dm[l], 1, 0);
+    }
+}
+
+void Multigrid::fillGhosts(MultiFab& phi, int lev) {
+    const Geometry& g = m_geom[lev];
+    phi.FillBoundary(g.periodicity());
+    if (m_bc == MgBC::Periodic) return;
+
+    // Physical BC in the face-normal ghost zones outside the domain:
+    // Dirichlet: phi_g = -phi_i (value 0 on the face between them);
+    // Neumann:   phi_g = +phi_i.
+    const Real sgn = (m_bc == MgBC::Dirichlet) ? -1.0 : 1.0;
+    const Box& dom = g.domain();
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+        auto a = phi.array(static_cast<int>(i));
+        const Box& vb = phi.box(static_cast<int>(i));
+        for (int d = 0; d < 3; ++d) {
+            if (g.isPeriodic(d)) continue; // FillBoundary already wrapped
+            const IntVect e = IntVect::basis(d);
+            if (vb.smallEnd(d) == dom.smallEnd(d)) {
+                Box face = vb;
+                face = Box(
+                    {d == 0 ? vb.smallEnd(0) - 1 : vb.smallEnd(0),
+                     d == 1 ? vb.smallEnd(1) - 1 : vb.smallEnd(1),
+                     d == 2 ? vb.smallEnd(2) - 1 : vb.smallEnd(2)},
+                    {d == 0 ? vb.smallEnd(0) - 1 : vb.bigEnd(0),
+                     d == 1 ? vb.smallEnd(1) - 1 : vb.bigEnd(1),
+                     d == 2 ? vb.smallEnd(2) - 1 : vb.bigEnd(2)});
+                ParallelFor(face, [=](int ii, int j, int k) {
+                    a(ii, j, k) = sgn * a(ii + e.x, j + e.y, k + e.z);
+                });
+            }
+            if (vb.bigEnd(d) == dom.bigEnd(d)) {
+                Box face(
+                    {d == 0 ? vb.bigEnd(0) + 1 : vb.smallEnd(0),
+                     d == 1 ? vb.bigEnd(1) + 1 : vb.smallEnd(1),
+                     d == 2 ? vb.bigEnd(2) + 1 : vb.smallEnd(2)},
+                    {d == 0 ? vb.bigEnd(0) + 1 : vb.bigEnd(0),
+                     d == 1 ? vb.bigEnd(1) + 1 : vb.bigEnd(1),
+                     d == 2 ? vb.bigEnd(2) + 1 : vb.bigEnd(2)});
+                ParallelFor(face, [=](int ii, int j, int k) {
+                    a(ii, j, k) = sgn * a(ii - e.x, j - e.y, k - e.z);
+                });
+            }
+        }
+    }
+}
+
+void Multigrid::smooth(MultiFab& phi, const MultiFab& rhs, int lev, int sweeps) {
+    const Geometry& g = m_geom[lev];
+    const Real hx2 = 1.0 / (g.cellSize(0) * g.cellSize(0));
+    const Real hy2 = 1.0 / (g.cellSize(1) * g.cellSize(1));
+    const Real hz2 = 1.0 / (g.cellSize(2) * g.cellSize(2));
+    const Real diag = 2.0 * (hx2 + hy2 + hz2);
+    for (int s = 0; s < sweeps; ++s) {
+        for (int color = 0; color < 2; ++color) {
+            fillGhosts(phi, lev);
+            for (std::size_t i = 0; i < phi.size(); ++i) {
+                auto p = phi.array(static_cast<int>(i));
+                auto r = rhs.const_array(static_cast<int>(i));
+                ParallelFor(smoothKernel(), phi.box(static_cast<int>(i)),
+                            [=](int ii, int j, int k) {
+                                if (((ii + j + k) & 1) != color) return;
+                                const Real sum = hx2 * (p(ii + 1, j, k) + p(ii - 1, j, k)) +
+                                                 hy2 * (p(ii, j + 1, k) + p(ii, j - 1, k)) +
+                                                 hz2 * (p(ii, j, k + 1) + p(ii, j, k - 1));
+                                p(ii, j, k) = (sum - r(ii, j, k)) / diag;
+                            });
+            }
+            ++m_sweeps;
+        }
+    }
+}
+
+void Multigrid::apply(MultiFab& phi, MultiFab& out, int lev) {
+    const Geometry& g = m_geom[lev];
+    const Real hx2 = 1.0 / (g.cellSize(0) * g.cellSize(0));
+    const Real hy2 = 1.0 / (g.cellSize(1) * g.cellSize(1));
+    const Real hz2 = 1.0 / (g.cellSize(2) * g.cellSize(2));
+    fillGhosts(phi, lev);
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+        auto p = phi.const_array(static_cast<int>(i));
+        auto o = out.array(static_cast<int>(i));
+        ParallelFor(residKernel(), out.box(static_cast<int>(i)),
+                    [=](int ii, int j, int k) {
+                        o(ii, j, k) = hx2 * (p(ii + 1, j, k) - 2 * p(ii, j, k) + p(ii - 1, j, k)) +
+                                      hy2 * (p(ii, j + 1, k) - 2 * p(ii, j, k) + p(ii, j - 1, k)) +
+                                      hz2 * (p(ii, j, k + 1) - 2 * p(ii, j, k) + p(ii, j, k - 1));
+                    });
+    }
+}
+
+void Multigrid::residual(MultiFab& phi, const MultiFab& rhs, MultiFab& res, int lev) {
+    apply(phi, res, lev);
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        auto r = res.array(static_cast<int>(i));
+        auto b = rhs.const_array(static_cast<int>(i));
+        ParallelFor(res.box(static_cast<int>(i)),
+                    [=](int ii, int j, int k) { r(ii, j, k) = b(ii, j, k) - r(ii, j, k); });
+    }
+}
+
+Real Multigrid::residualNorm(MultiFab& phi, const MultiFab& rhs, int lev) {
+    residual(phi, rhs, m_res[lev], lev);
+    // Reuse the level scratch only for norm computation when called on the
+    // user's data (lev 0); m_res has the right BoxArray by construction.
+    return m_res[lev].norminf(0);
+}
+
+void Multigrid::vcycle(int lev) {
+    const int nlev = numLevels();
+    if (lev == nlev - 1) {
+        smooth(m_phi[lev], m_rhs[lev], lev, m_opt.bottom_smooth);
+        return;
+    }
+    smooth(m_phi[lev], m_rhs[lev], lev, m_opt.pre_smooth);
+    residual(m_phi[lev], m_rhs[lev], m_res[lev], lev);
+    averageDown(m_rhs[lev + 1], m_res[lev], 2, 0, 0, 1);
+    m_phi[lev + 1].setVal(0.0);
+    vcycle(lev + 1);
+    // Prolong the coarse correction and add it to the fine solution.
+    for (std::size_t i = 0; i < m_phi[lev].size(); ++i) {
+        auto f = m_phi[lev].array(static_cast<int>(i));
+        const Box& fb = m_phi[lev].box(static_cast<int>(i));
+        // Gather the coarse correction under this fine box.
+        Box cb = coarsen(fb, 2);
+        FArrayBox ctmp(cb, 1);
+        ctmp.setVal(0.0);
+        for (const auto& [ci, isect] : m_ba[lev + 1].intersections(cb)) {
+            ctmp.copyFrom(m_phi[lev + 1].fab(ci), isect, 0, isect, 0, 1);
+        }
+        auto c = ctmp.const_array();
+        ParallelFor(fb, [=](int ii, int j, int k) {
+            f(ii, j, k) += c(coarsen_index(ii, 2), coarsen_index(j, 2),
+                             coarsen_index(k, 2));
+        });
+    }
+    smooth(m_phi[lev], m_rhs[lev], lev, m_opt.post_smooth);
+}
+
+void Multigrid::removeMean(MultiFab& mf) const {
+    const Real mean = mf.sum(0) / static_cast<Real>(mf.boxArray().numPts());
+    mf.plus(-mean, 0, 1);
+}
+
+MgResult Multigrid::solve(MultiFab& phi, const MultiFab& rhs) {
+    assert(phi.nGrow() >= 1);
+    MgResult result;
+
+    // Move the user's data onto the solver's level-0 layout.
+    m_phi[0].ParallelCopy(phi, 0, 0, 1, 0, m_geom[0].periodicity());
+    m_rhs[0].ParallelCopy(rhs, 0, 0, 1, 0, m_geom[0].periodicity());
+    const bool singular = (m_bc == MgBC::Periodic || m_bc == MgBC::Neumann);
+    if (singular) removeMean(m_rhs[0]);
+
+    result.initial_resnorm = residualNorm(m_phi[0], m_rhs[0], 0);
+    const Real rhsnorm = m_rhs[0].norminf(0);
+    const Real target =
+        m_opt.rtol * std::max({result.initial_resnorm, rhsnorm, Real(1.0e-300)});
+
+    Real res = result.initial_resnorm;
+    int it = 0;
+    while (res > target && it < m_opt.max_vcycles) {
+        vcycle(0);
+        if (singular) removeMean(m_phi[0]);
+        res = residualNorm(m_phi[0], m_rhs[0], 0);
+        ++it;
+    }
+    result.vcycles = it;
+    result.final_resnorm = res;
+    result.converged = res <= target;
+
+    phi.ParallelCopy(m_phi[0], 0, 0, 1, 0, m_geom[0].periodicity());
+    return result;
+}
+
+} // namespace exa

@@ -1,0 +1,94 @@
+#include "core/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace exa;
+
+TEST(MallocArena, EveryAllocIsSlow) {
+    MallocArena arena;
+    void* a = arena.allocate(1000);
+    void* b = arena.allocate(1000);
+    arena.deallocate(a);
+    arena.deallocate(b);
+    void* c = arena.allocate(1000);
+    arena.deallocate(c);
+    auto s = arena.stats();
+    EXPECT_EQ(s.allocs, 3u);
+    EXPECT_EQ(s.frees, 3u);
+    EXPECT_EQ(s.slow_allocs, 3u);
+    EXPECT_EQ(s.pool_hits, 0u);
+    EXPECT_EQ(s.bytes_in_use, 0u);
+}
+
+TEST(PoolArena, ReuseAfterFree) {
+    PoolArena arena;
+    void* a = arena.allocate(1000);
+    arena.deallocate(a);
+    void* b = arena.allocate(900); // same size class (1024)
+    EXPECT_EQ(a, b);               // handle reuse, no new allocation
+    arena.deallocate(b);
+    auto s = arena.stats();
+    EXPECT_EQ(s.allocs, 2u);
+    EXPECT_EQ(s.slow_allocs, 1u);
+    EXPECT_EQ(s.pool_hits, 1u);
+}
+
+TEST(PoolArena, SteadyStateNeverHitsAllocator) {
+    // The paper's scenario: a timestep loop allocating/freeing scratch of
+    // the same sizes every step. After step one, no slow allocations.
+    PoolArena arena;
+    const std::vector<std::size_t> sizes = {4096, 16384, 4096, 65536};
+    for (int step = 0; step < 100; ++step) {
+        std::vector<void*> ptrs;
+        for (auto sz : sizes) ptrs.push_back(arena.allocate(sz));
+        for (void* p : ptrs) arena.deallocate(p);
+    }
+    auto s = arena.stats();
+    EXPECT_EQ(s.allocs, 400u);
+    EXPECT_LE(s.slow_allocs, sizes.size()); // only warm-up misses
+    EXPECT_GE(s.pool_hits, 396u);
+    EXPECT_EQ(s.bytes_in_use, 0u);
+    EXPECT_GT(s.bytes_reserved, 0u); // cache retained
+    arena.releaseCached();
+    EXPECT_EQ(arena.stats().bytes_reserved, 0u);
+}
+
+TEST(PoolArena, DistinctSizeClassesDontAlias) {
+    PoolArena arena;
+    void* a = arena.allocate(100);
+    void* b = arena.allocate(100000);
+    EXPECT_NE(a, b);
+    std::memset(a, 0xAB, 100);
+    std::memset(b, 0xCD, 100000);
+    arena.deallocate(a);
+    arena.deallocate(b);
+}
+
+TEST(PoolArena, HighWaterMarkTracksPeak) {
+    PoolArena arena;
+    void* a = arena.allocate(1 << 20);
+    void* b = arena.allocate(1 << 20);
+    auto peak = arena.stats().hwm_bytes;
+    arena.deallocate(a);
+    arena.deallocate(b);
+    EXPECT_GE(peak, 2u << 20);
+    EXPECT_EQ(arena.stats().hwm_bytes, peak); // HWM persists
+}
+
+TEST(PoolArena, NullFreeIsNoop) {
+    PoolArena arena;
+    arena.deallocate(nullptr);
+    EXPECT_EQ(arena.stats().frees, 0u);
+}
+
+TEST(TheArena, DefaultIsPoolAndSwappable) {
+    setTheArena(nullptr);
+    EXPECT_EQ(The_Arena(), &thePoolArena());
+    setTheArena(&theMallocArena());
+    EXPECT_EQ(The_Arena(), &theMallocArena());
+    setTheArena(&thePoolArena());
+    EXPECT_EQ(The_Arena(), &thePoolArena());
+}

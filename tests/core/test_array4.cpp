@@ -1,0 +1,58 @@
+#include "core/array4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace exa;
+
+TEST(Array4, IndexingMatchesFortranOrder) {
+    Box b({2, 3, 4}, {5, 7, 9});
+    const int ncomp = 3;
+    std::vector<double> data(b.numPts() * ncomp, 0.0);
+    Array4<double> a(data.data(), b, ncomp);
+
+    // Fill via the view, check the flat layout: i fastest, then j, k, n.
+    int counter = 0;
+    for (int n = 0; n < ncomp; ++n)
+        for (int k = b.smallEnd(2); k <= b.bigEnd(2); ++k)
+            for (int j = b.smallEnd(1); j <= b.bigEnd(1); ++j)
+                for (int i = b.smallEnd(0); i <= b.bigEnd(0); ++i)
+                    a(i, j, k, n) = counter++;
+
+    for (size_t idx = 0; idx < data.size(); ++idx) {
+        EXPECT_EQ(data[idx], static_cast<double>(idx));
+    }
+}
+
+TEST(Array4, ContainsAndStrides) {
+    Box b({0, 0, 0}, {3, 4, 5});
+    std::vector<double> data(b.numPts());
+    Array4<double> a(data.data(), b, 1);
+    EXPECT_EQ(a.jstride, 4);
+    EXPECT_EQ(a.kstride, 20);
+    EXPECT_EQ(a.nstride, 120);
+    EXPECT_TRUE(a.contains(0, 0, 0));
+    EXPECT_TRUE(a.contains(3, 4, 5));
+    EXPECT_FALSE(a.contains(4, 0, 0));
+    EXPECT_FALSE(a.contains(0, -1, 0));
+}
+
+TEST(Array4, ConstConversion) {
+    Box b({0, 0, 0}, {1, 1, 1});
+    std::vector<double> data(b.numPts(), 7.0);
+    Array4<double> a(data.data(), b, 1);
+    Array4<const double> ca = a;
+    EXPECT_EQ(ca(1, 1, 1), 7.0);
+    a(1, 1, 1) = 9.0;
+    EXPECT_EQ(ca(1, 1, 1), 9.0);
+}
+
+TEST(Array4, ComponentPointer) {
+    Box b({0, 0, 0}, {1, 1, 1});
+    std::vector<double> data(b.numPts() * 2);
+    Array4<double> a(data.data(), b, 2);
+    a(0, 0, 0, 1) = 42.0;
+    EXPECT_EQ(a.dataPtr(1)[0], 42.0);
+    EXPECT_EQ(a.sizePerComp(), 8);
+}

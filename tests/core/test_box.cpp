@@ -1,0 +1,159 @@
+#include "core/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+using namespace exa;
+
+TEST(IntVect, Arithmetic) {
+    IntVect a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (IntVect{5, 7, 9}));
+    EXPECT_EQ(b - a, (IntVect{3, 3, 3}));
+    EXPECT_EQ(a * 2, (IntVect{2, 4, 6}));
+    EXPECT_EQ(-a, (IntVect{-1, -2, -3}));
+    EXPECT_TRUE(a.allLE(b));
+    EXPECT_FALSE(b.allLE(a));
+    EXPECT_EQ(min(a, b), a);
+    EXPECT_EQ(max(a, b), b);
+    EXPECT_EQ(IntVect::basis(1), (IntVect{0, 1, 0}));
+}
+
+TEST(IntVect, CoarsenIndexRoundsTowardNegInf) {
+    EXPECT_EQ(coarsen_index(0, 2), 0);
+    EXPECT_EQ(coarsen_index(1, 2), 0);
+    EXPECT_EQ(coarsen_index(2, 2), 1);
+    EXPECT_EQ(coarsen_index(-1, 2), -1);
+    EXPECT_EQ(coarsen_index(-2, 2), -1);
+    EXPECT_EQ(coarsen_index(-3, 2), -2);
+    EXPECT_EQ(coarsen_index(-4, 4), -1);
+    EXPECT_EQ(coarsen_index(-5, 4), -2);
+}
+
+TEST(Box, BasicGeometry) {
+    Box b({0, 0, 0}, {7, 15, 31});
+    EXPECT_TRUE(b.ok());
+    EXPECT_EQ(b.length(0), 8);
+    EXPECT_EQ(b.length(1), 16);
+    EXPECT_EQ(b.length(2), 32);
+    EXPECT_EQ(b.numPts(), 8 * 16 * 32);
+    EXPECT_TRUE(b.contains(0, 0, 0));
+    EXPECT_TRUE(b.contains(7, 15, 31));
+    EXPECT_FALSE(b.contains(8, 0, 0));
+    EXPECT_FALSE(b.contains(-1, 0, 0));
+}
+
+TEST(Box, EmptyBox) {
+    Box e;
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.numPts(), 0);
+    Box b({0, 0, 0}, {3, 3, 3});
+    EXPECT_FALSE((b & Box({10, 10, 10}, {12, 12, 12})).ok());
+}
+
+TEST(Box, Intersection) {
+    Box a({0, 0, 0}, {7, 7, 7});
+    Box b({4, 4, 4}, {11, 11, 11});
+    Box i = a & b;
+    EXPECT_EQ(i, Box({4, 4, 4}, {7, 7, 7}));
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_EQ(i.numPts(), 64);
+}
+
+TEST(Box, GrowShift) {
+    Box b({0, 0, 0}, {3, 3, 3});
+    EXPECT_EQ(grow(b, 2), Box({-2, -2, -2}, {5, 5, 5}));
+    EXPECT_EQ(grow(b, 1, 2), Box({0, -2, 0}, {3, 5, 3}));
+    EXPECT_EQ(shift(b, {1, 0, -1}), Box({1, 0, -1}, {4, 3, 2}));
+    Box f = surroundingFaces(b, 0);
+    EXPECT_EQ(f, Box({0, 0, 0}, {4, 3, 3}));
+}
+
+TEST(Box, CoarsenRefineRoundTrip) {
+    Box b({0, 0, 0}, {63, 63, 63});
+    Box c = coarsen(b, 2);
+    EXPECT_EQ(c, Box({0, 0, 0}, {31, 31, 31}));
+    EXPECT_EQ(refine(c, 2), b);
+    EXPECT_TRUE(b.coarsenable(2));
+    EXPECT_TRUE(b.coarsenable(4));
+
+    Box odd({0, 0, 0}, {8, 8, 8}); // 9 zones per dim
+    EXPECT_FALSE(odd.coarsenable(2));
+}
+
+TEST(Box, CoarsenNegativeIndices) {
+    Box b({-4, -4, -4}, {3, 3, 3});
+    Box c = coarsen(b, 4);
+    EXPECT_EQ(c, Box({-1, -1, -1}, {0, 0, 0}));
+}
+
+TEST(BoxDiff, DisjointReturnsOriginal) {
+    Box a({0, 0, 0}, {3, 3, 3});
+    auto d = boxDiff(a, Box({10, 10, 10}, {11, 11, 11}));
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0], a);
+}
+
+TEST(BoxDiff, FullyCoveredReturnsEmpty) {
+    Box a({1, 1, 1}, {2, 2, 2});
+    auto d = boxDiff(a, Box({0, 0, 0}, {3, 3, 3}));
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(BoxDiff, PiecesAreDisjointAndCoverDifference) {
+    Box a({0, 0, 0}, {7, 7, 7});
+    Box b({2, 3, 4}, {5, 9, 5});
+    auto pieces = boxDiff(a, b);
+    // Count zones: total must equal |a| - |a ∩ b|, and no zone may be
+    // covered twice or inside b.
+    std::int64_t count = 0;
+    for (const auto& p : pieces) {
+        EXPECT_TRUE(a.contains(p));
+        EXPECT_FALSE(p.intersects(b));
+        count += p.numPts();
+        for (const auto& q : pieces) {
+            if (&p != &q) { EXPECT_FALSE(p.intersects(q)); }
+        }
+    }
+    EXPECT_EQ(count, a.numPts() - (a & b).numPts());
+}
+
+TEST(ChopDomain, TilesExactly) {
+    Box dom({0, 0, 0}, {63, 63, 63});
+    auto boxes = chopDomain(dom, 32);
+    EXPECT_EQ(boxes.size(), 8u);
+    std::int64_t total = 0;
+    for (const auto& b : boxes) {
+        EXPECT_TRUE(dom.contains(b));
+        EXPECT_LE(b.size().max(), 32);
+        total += b.numPts();
+    }
+    EXPECT_EQ(total, dom.numPts());
+}
+
+TEST(ChopDomain, UnevenSplitIsBalanced) {
+    Box dom({0, 0, 0}, {99, 0, 0}); // 100 zones, max 32 -> 4 cuts of 25
+    auto boxes = chopDomain(dom, IntVect{32, 64, 64});
+    ASSERT_EQ(boxes.size(), 4u);
+    for (const auto& b : boxes) EXPECT_EQ(b.length(0), 25);
+}
+
+class ChopDomainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChopDomainSweep, NoOverlapFullCover) {
+    const int max_width = GetParam();
+    Box dom({0, 0, 0}, {47, 31, 23});
+    auto boxes = chopDomain(dom, max_width);
+    std::int64_t total = 0;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+        total += boxes[i].numPts();
+        EXPECT_LE(boxes[i].size().max(), max_width);
+        for (size_t j = i + 1; j < boxes.size(); ++j) {
+            EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+        }
+    }
+    EXPECT_EQ(total, dom.numPts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ChopDomainSweep, ::testing::Values(7, 8, 16, 24, 32, 48));

@@ -1,0 +1,142 @@
+#include "core/array4.hpp"
+#include "core/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace exa;
+
+namespace {
+
+std::vector<Real> run_fill(Backend be) {
+    ScopedBackend sb(be);
+    Box b({0, 0, 0}, {7, 7, 7});
+    std::vector<Real> data(b.numPts(), 0.0);
+    Array4<Real> a(data.data(), b, 1);
+    ParallelFor(b, [=](int i, int j, int k) {
+        a(i, j, k) = std::sin(0.1 * i) + std::cos(0.2 * j) * k;
+    });
+    return data;
+}
+
+} // namespace
+
+TEST(ParallelFor, BackendsBitIdentical) {
+    auto serial = run_fill(Backend::Serial);
+    auto omp = run_fill(Backend::OpenMP);
+    auto gpu = run_fill(Backend::SimGpu);
+    EXPECT_EQ(serial, omp);
+    EXPECT_EQ(serial, gpu);
+}
+
+TEST(ParallelFor, VisitsEveryZoneExactlyOnce) {
+    Box b({-2, 0, 3}, {4, 5, 6});
+    std::vector<int> count(b.numPts(), 0);
+    Array4<int> a(count.data(), b, 1);
+    ParallelFor(b, [=](int i, int j, int k) { a(i, j, k) += 1; });
+    for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelFor, ComponentVariantCoversAllComponents) {
+    Box b({0, 0, 0}, {3, 3, 3});
+    const int nc = 5;
+    std::vector<int> data(b.numPts() * nc, 0);
+    Array4<int> a(data.data(), b, nc);
+    ParallelFor(b, nc, [=](int i, int j, int k, int n) { a(i, j, k, n) = n + 1; });
+    for (int n = 0; n < nc; ++n) {
+        for (int idx = 0; idx < b.numPts(); ++idx) {
+            EXPECT_EQ(data[n * b.numPts() + idx], n + 1);
+        }
+    }
+}
+
+TEST(ParallelFor, EmptyBoxDoesNothing) {
+    Box e;
+    bool touched = false;
+    ParallelFor(e, [&](int, int, int) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, OneDimensional) {
+    std::vector<int> v(100, 0);
+    int* p = v.data();
+    ParallelFor(static_cast<std::int64_t>(v.size()),
+                [=](std::int64_t i) { p[i] = static_cast<int>(2 * i); });
+    EXPECT_EQ(v[99], 198);
+    EXPECT_EQ(v[0], 0);
+}
+
+TEST(ParallelReduce, SumMatchesAnalytic) {
+    Box b({0, 0, 0}, {9, 9, 9});
+    // sum over i of i for each (j,k): 45 * 100
+    Real s = ParallelReduceSum(b, [](int i, int, int) { return static_cast<Real>(i); });
+    EXPECT_DOUBLE_EQ(s, 45.0 * 100.0);
+}
+
+TEST(ParallelReduce, MaxMin) {
+    Box b({0, 0, 0}, {4, 4, 4});
+    Real mx = ParallelReduceMax(b, [](int i, int j, int k) {
+        return static_cast<Real>(i + 10 * j + 100 * k);
+    });
+    EXPECT_DOUBLE_EQ(mx, 444.0);
+    Real mn = ParallelReduceMin(b, [](int i, int j, int k) {
+        return static_cast<Real>(i + 10 * j + 100 * k);
+    });
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+}
+
+TEST(ParallelFor, SimGpuLaunchHookReceivesRecords) {
+    ScopedBackend sb(Backend::SimGpu);
+    std::vector<LaunchRecord> records;
+    ExecConfig::setLaunchHook([&](const LaunchRecord& r) { records.push_back(r); });
+
+    Box b({0, 0, 0}, {15, 15, 15});
+    KernelInfo ki{"test_kernel", 10.0, 40.0, 80, 1.0};
+    ParallelFor(ki, b, [](int, int, int) {});
+    ParallelFor(ki, b, 4, [](int, int, int, int) {});
+
+    ExecConfig::clearLaunchHook();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].zones, 4096);
+    EXPECT_EQ(records[0].ncomp, 1);
+    EXPECT_EQ(records[1].ncomp, 4);
+    EXPECT_STREQ(records[0].info.name, "test_kernel");
+    EXPECT_EQ(records[0].info.regs_per_thread, 80);
+}
+
+TEST(ParallelFor, SerialBackendDoesNotNotifyHook) {
+    ScopedBackend sb(Backend::Serial);
+    int launches = 0;
+    ExecConfig::setLaunchHook([&](const LaunchRecord&) { ++launches; });
+    Box b({0, 0, 0}, {3, 3, 3});
+    ParallelFor(b, [](int, int, int) {});
+    ExecConfig::clearLaunchHook();
+    EXPECT_EQ(launches, 0);
+}
+
+TEST(ExecConfig, StreamsRoundTrip) {
+    ExecConfig::setNumStreams(4);
+    EXPECT_EQ(ExecConfig::numStreams(), 4);
+    ExecConfig::setCurrentStream(3);
+    EXPECT_EQ(ExecConfig::currentStream(), 3);
+    ExecConfig::setCurrentStream(0);
+    ExecConfig::setNumStreams(0); // clamps to 1
+    EXPECT_EQ(ExecConfig::numStreams(), 1);
+    ExecConfig::setNumStreams(4);
+}
+
+class ParallelForBoxShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ParallelForBoxShapes, ReduceCountEqualsNumPts) {
+    auto [nx, ny, nz] = GetParam();
+    Box b({0, 0, 0}, {nx - 1, ny - 1, nz - 1});
+    Real n = ParallelReduceSum(b, [](int, int, int) { return 1.0; });
+    EXPECT_DOUBLE_EQ(n, static_cast<Real>(b.numPts()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParallelForBoxShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{8, 1, 1},
+                                           std::tuple{1, 8, 1}, std::tuple{1, 1, 8},
+                                           std::tuple{16, 8, 4}, std::tuple{3, 5, 7}));

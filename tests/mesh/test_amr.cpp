@@ -1,0 +1,232 @@
+#include "core/parallel_for.hpp"
+#include "mesh/amr_core.hpp"
+#include "mesh/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace exa;
+
+TEST(TagCluster, SingleZoneBecomesOneBlock) {
+    TagCluster tc(4);
+    auto boxes = tc.cluster(std::vector<IntVect>{{5, 5, 5}}, Box({0, 0, 0}, {31, 31, 31}));
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_EQ(boxes[0], Box({4, 4, 4}, {7, 7, 7}));
+}
+
+TEST(TagCluster, RectangularRegionMergesToOneBox) {
+    TagCluster tc(4);
+    std::vector<IntVect> tags;
+    for (int k = 4; k < 12; ++k)
+        for (int j = 8; j < 16; ++j)
+            for (int i = 0; i < 16; ++i) tags.push_back({i, j, k});
+    auto boxes = tc.cluster(tags, Box({0, 0, 0}, {31, 31, 31}));
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_EQ(boxes[0], Box({0, 8, 4}, {15, 15, 11}));
+}
+
+TEST(TagCluster, CoversAllTagsDisjointly) {
+    TagCluster tc(8);
+    // An L-shaped tag set.
+    std::vector<IntVect> tags;
+    for (int i = 0; i < 24; ++i) tags.push_back({i, 3, 3});
+    for (int j = 0; j < 24; ++j) tags.push_back({3, j, 3});
+    Box domain({0, 0, 0}, {63, 63, 63});
+    auto boxes = tc.cluster(tags, domain);
+    for (const auto& t : tags) {
+        bool covered = false;
+        for (const auto& b : boxes) covered = covered || b.contains(t);
+        EXPECT_TRUE(covered);
+    }
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+        for (std::size_t j = i + 1; j < boxes.size(); ++j)
+            EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+}
+
+TEST(TagCluster, ClipsToDomain) {
+    TagCluster tc(8);
+    auto boxes = tc.cluster(std::vector<IntVect>{{30, 30, 30}}, Box({0, 0, 0}, {30, 30, 30}));
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_EQ(boxes[0], Box({24, 24, 24}, {30, 30, 30}));
+}
+
+namespace {
+
+// Minimal AmrCore subclass: one state component following a spherical
+// feature; tags zones inside a ball whose center moves between regrids.
+class BallAmr : public AmrCore {
+public:
+    BallAmr(const Geometry& g, const AmrInfo& info) : AmrCore(g, info) {
+        m_state.resize(info.max_level + 1);
+    }
+
+    std::array<Real, 3> ball_center{0.5, 0.5, 0.5};
+    Real ball_radius = 0.15;
+
+    MultiFab& state(int lev) { return m_state[lev]; }
+
+    int n_from_scratch = 0, n_from_coarse = 0, n_remade = 0, n_cleared = 0;
+
+protected:
+    void fill(int lev, MultiFab& mf) {
+        const Geometry& g = geom(lev);
+        for (std::size_t i = 0; i < mf.size(); ++i) {
+            auto a = mf.array(static_cast<int>(i));
+            const Box& vb = mf.box(static_cast<int>(i));
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                    for (int ii = vb.smallEnd(0); ii <= vb.bigEnd(0); ++ii) {
+                        const Real x = g.cellCenter(0, ii) - ball_center[0];
+                        const Real y = g.cellCenter(1, j) - ball_center[1];
+                        const Real z = g.cellCenter(2, k) - ball_center[2];
+                        a(ii, j, k, 0) = std::sqrt(x * x + y * y + z * z);
+                    }
+        }
+    }
+
+    void MakeNewLevelFromScratch(int lev, const BoxArray& ba,
+                                 const DistributionMapping& dm) override {
+        m_state[lev].define(ba, dm, 1, 0);
+        fill(lev, m_state[lev]);
+        ++n_from_scratch;
+    }
+    void MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
+                                const DistributionMapping& dm) override {
+        m_state[lev].define(ba, dm, 1, 0);
+        fill(lev, m_state[lev]);
+        ++n_from_coarse;
+    }
+    void RemakeLevel(int lev, const BoxArray& ba,
+                     const DistributionMapping& dm) override {
+        m_state[lev].define(ba, dm, 1, 0);
+        fill(lev, m_state[lev]);
+        ++n_remade;
+    }
+    void ClearLevel(int lev) override {
+        m_state[lev].clear();
+        ++n_cleared;
+    }
+    void ErrorEst(int lev, MultiFab& tags) override {
+        const Real r = ball_radius;
+        for (std::size_t i = 0; i < tags.size(); ++i) {
+            auto t = tags.array(static_cast<int>(i));
+            auto s = m_state[lev].const_array(static_cast<int>(i));
+            ParallelFor(tags.box(static_cast<int>(i)), [=](int ii, int j, int k) {
+                if (s(ii, j, k, 0) < r) t(ii, j, k) = 1.0;
+            });
+        }
+    }
+
+private:
+    std::vector<MultiFab> m_state;
+};
+
+} // namespace
+
+TEST(AmrCore, BuildsNestedHierarchy) {
+    Geometry g(Box({0, 0, 0}, {31, 31, 31}), {0, 0, 0}, {1, 1, 1});
+    AmrInfo info;
+    info.max_level = 2;
+    info.ref_ratio = 2;
+    info.max_grid_size = 16;
+    info.blocking_factor = 4;
+    info.nranks = 4;
+    BallAmr amr(g, info);
+    amr.initBaseLevel();
+    EXPECT_EQ(amr.finestLevel(), 0);
+    amr.regrid(0);
+    EXPECT_EQ(amr.finestLevel(), 2);
+    EXPECT_EQ(amr.n_from_scratch, 1);
+    EXPECT_EQ(amr.n_from_coarse, 2);
+
+    // Every fine box must be covered by the coarser level (proper nesting)
+    // and cover the tagged feature.
+    for (int lev = 1; lev <= 2; ++lev) {
+        BoxArray crse = amr.boxArray(lev);
+        crse.coarsen(info.ref_ratio);
+        for (const Box& b : crse.boxes()) {
+            EXPECT_TRUE(amr.boxArray(lev - 1).contains(b));
+        }
+        EXPECT_TRUE(amr.boxArray(lev).isDisjoint());
+    }
+
+    // The refined region is a small fraction of the domain: the AMR
+    // selling point from the paper's Section V.
+    EXPECT_LT(amr.coveredFraction(2), 0.25);
+    EXPECT_GT(amr.coveredFraction(2), 0.0);
+}
+
+TEST(AmrCore, RefinedRegionTracksBall) {
+    Geometry g(Box({0, 0, 0}, {31, 31, 31}), {0, 0, 0}, {1, 1, 1});
+    AmrInfo info;
+    info.max_level = 1;
+    info.max_grid_size = 16;
+    info.blocking_factor = 4;
+    BallAmr amr(g, info);
+    amr.initBaseLevel();
+    amr.regrid(0);
+    const Box before = amr.boxArray(1).minimalBox();
+
+    // Move the ball; refill level 0 (the tag source) and regrid.
+    amr.ball_center = {0.2, 0.2, 0.2};
+    amr.state(0).clear();
+    amr.n_from_scratch = 0;
+    // Re-create level 0 state with the new feature position.
+    BoxArray ba0 = amr.boxArray(0);
+    // (BallAmr::RemakeLevel refills from the analytic function.)
+    // Access through regrid: ErrorEst uses the stale state, so refresh first.
+    struct Refresher : BallAmr {
+        using BallAmr::BallAmr;
+    };
+    // Simplest: rebuild level 0 state in place via the protected hook —
+    // emulate by defining a fresh state.
+    amr.state(0).define(ba0, amr.distributionMap(0), 1, 0);
+    {
+        const Geometry& g0 = amr.geom(0);
+        for (std::size_t i = 0; i < amr.state(0).size(); ++i) {
+            auto a = amr.state(0).array(static_cast<int>(i));
+            const Box& vb = amr.state(0).box(static_cast<int>(i));
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                    for (int ii = vb.smallEnd(0); ii <= vb.bigEnd(0); ++ii) {
+                        const Real x = g0.cellCenter(0, ii) - 0.2;
+                        const Real y = g0.cellCenter(1, j) - 0.2;
+                        const Real z = g0.cellCenter(2, k) - 0.2;
+                        a(ii, j, k, 0) = std::sqrt(x * x + y * y + z * z);
+                    }
+        }
+    }
+    amr.regrid(0);
+    const Box after = amr.boxArray(1).minimalBox();
+    EXPECT_NE(before, after);
+    // New refined region is nearer the origin.
+    EXPECT_LT(after.bigEnd(0), before.bigEnd(0));
+}
+
+TEST(AmrCore, NoTagsMeansNoFineLevel) {
+    Geometry g(Box({0, 0, 0}, {15, 15, 15}), {0, 0, 0}, {1, 1, 1});
+    AmrInfo info;
+    info.max_level = 2;
+    BallAmr amr(g, info);
+    amr.ball_radius = -1.0; // nothing tagged
+    amr.initBaseLevel();
+    amr.regrid(0);
+    EXPECT_EQ(amr.finestLevel(), 0);
+}
+
+TEST(AmrCore, ClearsVanishedLevels) {
+    Geometry g(Box({0, 0, 0}, {31, 31, 31}), {0, 0, 0}, {1, 1, 1});
+    AmrInfo info;
+    info.max_level = 1;
+    info.blocking_factor = 4;
+    BallAmr amr(g, info);
+    amr.initBaseLevel();
+    amr.regrid(0);
+    ASSERT_EQ(amr.finestLevel(), 1);
+    // Shrink the feature to nothing and regrid: level 1 must vanish.
+    amr.ball_radius = -1.0;
+    amr.regrid(0);
+    EXPECT_EQ(amr.finestLevel(), 0);
+    EXPECT_EQ(amr.n_cleared, 1);
+}

@@ -1,0 +1,55 @@
+#include "mesh/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace exa;
+
+TEST(Periodicity, ShiftsEnumerateImages) {
+    Periodicity none;
+    EXPECT_EQ(none.shifts().size(), 1u);
+    EXPECT_FALSE(none.isAnyPeriodic());
+
+    Periodicity all(IntVect{16, 16, 16});
+    EXPECT_EQ(all.shifts().size(), 27u);
+    EXPECT_TRUE(all.isPeriodic(2));
+
+    Periodicity xonly(IntVect{16, 0, 0});
+    auto s = xonly.shifts();
+    EXPECT_EQ(s.size(), 3u);
+    for (auto& sh : s) {
+        EXPECT_EQ(sh.y, 0);
+        EXPECT_EQ(sh.z, 0);
+    }
+}
+
+TEST(Geometry, CellSizesAndCenters) {
+    Geometry g(Box({0, 0, 0}, {31, 63, 15}), {0.0, 0.0, 0.0}, {1.0, 2.0, 1.0});
+    EXPECT_DOUBLE_EQ(g.cellSize(0), 1.0 / 32);
+    EXPECT_DOUBLE_EQ(g.cellSize(1), 2.0 / 64);
+    EXPECT_DOUBLE_EQ(g.cellSize(2), 1.0 / 16);
+    EXPECT_DOUBLE_EQ(g.cellCenter(0, 0), 0.5 / 32);
+    EXPECT_DOUBLE_EQ(g.cellCenter(0, 31), 1.0 - 0.5 / 32);
+    EXPECT_DOUBLE_EQ(g.cellLo(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(g.cellLo(0, 32), 1.0);
+    EXPECT_DOUBLE_EQ(g.cellVolume(), (1.0 / 32) * (2.0 / 64) * (1.0 / 16));
+}
+
+TEST(Geometry, PeriodicFlagsBecomeDomainPeriods) {
+    Geometry g(Box({0, 0, 0}, {15, 15, 15}), {0, 0, 0}, {1, 1, 1}, IntVect{1, 0, 1});
+    EXPECT_TRUE(g.isPeriodic(0));
+    EXPECT_FALSE(g.isPeriodic(1));
+    EXPECT_TRUE(g.isPeriodic(2));
+    EXPECT_EQ(g.periodicity().period(0), 16);
+}
+
+TEST(Geometry, RefinedKeepsPhysicalExtent) {
+    Geometry g(Box({0, 0, 0}, {15, 15, 15}), {0, 0, 0}, {1, 1, 1}, IntVect{1, 1, 1});
+    Geometry f = g.refined(4);
+    EXPECT_EQ(f.domain(), Box({0, 0, 0}, {63, 63, 63}));
+    EXPECT_DOUBLE_EQ(f.cellSize(0), g.cellSize(0) / 4);
+    EXPECT_DOUBLE_EQ(f.probHi(0), 1.0);
+    EXPECT_TRUE(f.isPeriodic(0));
+    EXPECT_EQ(f.periodicity().period(0), 64);
+    Geometry c = f.coarsened(4);
+    EXPECT_EQ(c.domain(), g.domain());
+}

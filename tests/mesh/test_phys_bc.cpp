@@ -1,0 +1,130 @@
+#include "core/parallel_for.hpp"
+#include "core/timer.hpp"
+#include "mesh/phys_bc.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace exa;
+
+namespace {
+
+MultiFab makeFilled(const Geometry& g, int nc, int ng) {
+    BoxArray ba(g.domain());
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 2);
+    MultiFab mf(ba, dm, nc, ng);
+    mf.setVal(-1.0e30);
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.array(static_cast<int>(b));
+        ParallelFor(mf.box(static_cast<int>(b)), nc, [=](int i, int j, int k, int n) {
+            a(i, j, k, n) = i + 100.0 * j + 10000.0 * k + 1.0e6 * n;
+        });
+    }
+    mf.FillBoundary(g.periodicity());
+    return mf;
+}
+
+} // namespace
+
+TEST(PhysBC, OutflowExtrapolatesZeroGradient) {
+    Geometry g(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeFilled(g, 1, 2);
+    fillPhysicalBoundary(mf, g, DomainBC::allOutflow());
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.const_array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        if (vb.smallEnd(0) == 0) {
+            // ghost at i = -1, -2 copies i = 0.
+            EXPECT_DOUBLE_EQ(a(-1, vb.smallEnd(1), vb.smallEnd(2), 0),
+                             a(0, vb.smallEnd(1), vb.smallEnd(2), 0));
+            EXPECT_DOUBLE_EQ(a(-2, vb.smallEnd(1), vb.smallEnd(2), 0),
+                             a(0, vb.smallEnd(1), vb.smallEnd(2), 0));
+        }
+        if (vb.bigEnd(2) == 7) {
+            EXPECT_DOUBLE_EQ(a(vb.smallEnd(0), vb.smallEnd(1), 8, 0),
+                             a(vb.smallEnd(0), vb.smallEnd(1), 7, 0));
+        }
+    }
+}
+
+TEST(PhysBC, ReflectMirrorsAndFlipsOddComponents) {
+    Geometry g(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeFilled(g, 2, 2);
+    DomainBC bc;
+    bc.set(0, 0, PhysBC::Reflect);
+    bc.set(0, 1, PhysBC::Reflect);
+    std::array<std::vector<int>, 3> odd;
+    odd[0] = {1}; // component 1 is the normal momentum in x
+    fillPhysicalBoundary(mf, g, bc, odd);
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.const_array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        if (vb.smallEnd(0) != 0) continue;
+        const int j = vb.smallEnd(1), k = vb.smallEnd(2);
+        // Even component mirrors: ghost(-1) = interior(0); ghost(-2) = (1).
+        EXPECT_DOUBLE_EQ(a(-1, j, k, 0), a(0, j, k, 0));
+        EXPECT_DOUBLE_EQ(a(-2, j, k, 0), a(1, j, k, 0));
+        // Odd component flips sign.
+        EXPECT_DOUBLE_EQ(a(-1, j, k, 1), -a(0, j, k, 1));
+        EXPECT_DOUBLE_EQ(a(-2, j, k, 1), -a(1, j, k, 1));
+    }
+}
+
+TEST(PhysBC, PeriodicFacesAreLeftAlone) {
+    Geometry g(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1}, IntVect{1, 0, 0});
+    MultiFab mf = makeFilled(g, 1, 1);
+    DomainBC bc;
+    bc.set(0, 0, PhysBC::Periodic);
+    bc.set(0, 1, PhysBC::Periodic);
+    fillPhysicalBoundary(mf, g, bc);
+    // x ghosts were wrapped by FillBoundary (value of i = 7), and the BC
+    // fill must not overwrite them with extrapolation.
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.const_array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        if (vb.smallEnd(0) != 0) continue;
+        EXPECT_DOUBLE_EQ(a(-1, vb.smallEnd(1), vb.smallEnd(2), 0),
+                         7.0 + 100.0 * vb.smallEnd(1) + 10000.0 * vb.smallEnd(2));
+    }
+}
+
+TEST(PhysBC, EdgesComposeAcrossDimensions) {
+    // A corner ghost outside two outflow faces must equal the nearest
+    // interior corner value (fills compose dimension by dimension).
+    Geometry g(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeFilled(g, 1, 2);
+    fillPhysicalBoundary(mf, g, DomainBC::allOutflow());
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.const_array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        if (vb.smallEnd(0) == 0 && vb.smallEnd(1) == 0) {
+            EXPECT_DOUBLE_EQ(a(-1, -1, vb.smallEnd(2), 0),
+                             a(0, 0, vb.smallEnd(2), 0));
+        }
+    }
+}
+
+TEST(Timer, RegistryAccumulatesAndReports) {
+    auto& reg = TimerRegistry::instance();
+    reg.reset();
+    {
+        TimerRegion t("unit_test_region");
+    }
+    {
+        TimerRegion t("unit_test_region");
+    }
+    EXPECT_EQ(reg.calls("unit_test_region"), 2u);
+    EXPECT_GE(reg.seconds("unit_test_region"), 0.0);
+    EXPECT_NE(reg.report().find("unit_test_region"), std::string::npos);
+    EXPECT_EQ(reg.calls("never_used"), 0u);
+    EXPECT_DOUBLE_EQ(reg.seconds("never_used"), 0.0);
+    reg.reset();
+    EXPECT_EQ(reg.calls("unit_test_region"), 0u);
+}
+
+TEST(Timer, WallTimerAdvances) {
+    WallTimer t;
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+    EXPECT_GT(t.seconds(), 0.0);
+}

@@ -1,0 +1,119 @@
+#include "core/parallel_for.hpp"
+#include "mesh/plotfile.hpp"
+#include "perf/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace exa;
+
+namespace {
+
+MultiFab makeState(int n, int nc, int seed) {
+    BoxArray ba(Box({0, 0, 0}, {n - 1, n - 1, n - 1}));
+    ba.maxSize(n / 2);
+    DistributionMapping dm(ba, 2);
+    MultiFab mf(ba, dm, nc, 2);
+    mf.setVal(-7.0); // ghosts get a sentinel: they must not be persisted
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.array(static_cast<int>(b));
+        ParallelFor(mf.box(static_cast<int>(b)), nc, [=](int i, int j, int k, int c) {
+            a(i, j, k, c) = seed + i + 10 * j + 100 * k + 1000 * c;
+        });
+    }
+    return mf;
+}
+
+struct TmpDir {
+    std::string path;
+    explicit TmpDir(const std::string& name)
+        : path(std::string("/tmp/exastro_test_") + name) {
+        std::filesystem::remove_all(path);
+    }
+    ~TmpDir() { std::filesystem::remove_all(path); }
+};
+
+} // namespace
+
+TEST(Plotfile, RoundTripRestoresStateExactly) {
+    TmpDir dir("roundtrip");
+    Geometry geom(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeState(8, 3, 5);
+    const auto bytes =
+        writePlotfile(dir.path, mf, geom, {"rho", "T", "x"}, 1.25, 42);
+    EXPECT_EQ(bytes, 8LL * 8 * 8 * 3 * 8);
+
+    MultiFab back = makeState(8, 3, 0); // different data, same layout
+    const auto rbytes = readPlotfileLevel(dir.path, 0, back);
+    EXPECT_EQ(rbytes, bytes);
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.const_array(static_cast<int>(b));
+        auto c = back.const_array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i)
+                    for (int n = 0; n < 3; ++n)
+                        ASSERT_EQ(a(i, j, k, n), c(i, j, k, n));
+    }
+}
+
+TEST(Plotfile, HeaderRecordsMetadata) {
+    TmpDir dir("header");
+    Geometry geom(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeState(8, 2, 1);
+    writePlotfile(dir.path, mf, geom, {"rho", "T"}, 3.5, 17);
+    auto h = readPlotfileHeader(dir.path);
+    EXPECT_EQ(h.nlevels, 1);
+    EXPECT_EQ(h.ncomp, 2);
+    EXPECT_DOUBLE_EQ(h.time, 3.5);
+    EXPECT_EQ(h.step, 17);
+    ASSERT_EQ(h.varnames.size(), 2u);
+    EXPECT_EQ(h.varnames[0], "rho");
+    ASSERT_EQ(h.boxes[0].size(), mf.size());
+    EXPECT_EQ(h.boxes[0][0], mf.box(0));
+}
+
+TEST(Plotfile, MultiLevelWrite) {
+    TmpDir dir("multilevel");
+    Geometry g0(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    Geometry g1 = g0.refined(2);
+    MultiFab l0 = makeState(8, 1, 2);
+    MultiFab l1 = makeState(16, 1, 3);
+    const auto bytes = writePlotfile(dir.path, {&l0, &l1}, {g0, g1}, {"rho"}, 0.0, 0);
+    EXPECT_EQ(bytes, (8LL * 8 * 8 + 16LL * 16 * 16) * 8);
+    auto h = readPlotfileHeader(dir.path);
+    EXPECT_EQ(h.nlevels, 2);
+    MultiFab back = makeState(16, 1, 9);
+    readPlotfileLevel(dir.path, 1, back);
+    EXPECT_DOUBLE_EQ(back.const_array(0)(1, 0, 0, 0), 3.0 + 1.0);
+}
+
+TEST(Plotfile, MismatchedRestartRejected) {
+    TmpDir dir("mismatch");
+    Geometry geom(Box({0, 0, 0}, {7, 7, 7}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeState(8, 1, 0);
+    writePlotfile(dir.path, mf, geom, {"rho"}, 0.0, 0);
+    MultiFab wrong = makeState(16, 1, 0);
+    EXPECT_THROW(readPlotfileLevel(dir.path, 0, wrong), std::runtime_error);
+    EXPECT_THROW(readPlotfileLevel(dir.path, 3, mf), std::runtime_error);
+    EXPECT_THROW(readPlotfileHeader("/tmp/definitely_not_a_plotfile_xyz"),
+                 std::runtime_error);
+}
+
+TEST(Plotfile, CheckpointBytesPriceTheHostCopy) {
+    // The paper: checkpoints copy device data to the host; the device
+    // model prices that copy over NVLink.
+    TmpDir dir("chk");
+    Geometry geom(Box({0, 0, 0}, {15, 15, 15}), {0, 0, 0}, {1, 1, 1});
+    MultiFab mf = makeState(16, 8, 0);
+    const auto bytes = writePlotfile(dir.path, mf, geom,
+                                     {"a", "b", "c", "d", "e", "f", "g", "h"}, 0.0,
+                                     0);
+    DeviceModel dev;
+    const double t = dev.transferTime(static_cast<double>(bytes));
+    EXPECT_GT(t, 0.0);
+    EXPECT_NEAR(t, bytes / 45.0e9, 1e-12);
+}

@@ -1,0 +1,151 @@
+#include "microphysics/burner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace exa;
+
+TEST(Burner, CarbonBurnRaisesTemperatureAndDepletesFuel) {
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    // Hot dense carbon: should burn appreciably in a short time.
+    const Real rho = 2.0e9, T0 = 8.0e8, dt = 1.0e-3;
+    auto r = burnZone(net, eos, rho, T0, X.data(), dt);
+    ASSERT_TRUE(r.success);
+    EXPECT_GT(r.T, T0);
+    EXPECT_LT(r.X[0], 1.0);
+    EXPECT_GT(r.X[1], 0.0);
+    EXPECT_NEAR(r.X[0] + r.X[1], 1.0, 1e-10);
+    EXPECT_GT(r.e_nuc, 0.0);
+}
+
+TEST(Burner, ColdZoneIsInert) {
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    auto r = burnZone(net, eos, 1.0e4, 1.0e6, X.data(), 1.0);
+    ASSERT_TRUE(r.success);
+    EXPECT_NEAR(r.T, 1.0e6, 1.0);
+    EXPECT_NEAR(r.X[0], 1.0, 1e-12);
+    EXPECT_LT(r.stats.steps, 50); // nothing to resolve
+}
+
+TEST(Burner, ThermonuclearRunawayFeedback) {
+    // Positive feedback: the same zone burns much further when the burn
+    // is long enough for self-heating to engage (superlinear T growth).
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    const Real rho = 5.0e9, T0 = 9.0e8;
+    auto r_short = burnZone(net, eos, rho, T0, X.data(), 1.0e-5);
+    auto r_long = burnZone(net, eos, rho, T0, X.data(), 1.0e-3);
+    ASSERT_TRUE(r_short.success);
+    ASSERT_TRUE(r_long.success);
+    const Real dT_short = r_short.T - T0;
+    const Real dT_long = r_long.T - T0;
+    // 100x the time, appreciably more than 100x the heating.
+    EXPECT_GT(dT_long, 101.0 * std::max(dT_short, Real(1.0)));
+}
+
+TEST(Burner, EnergyReleaseMatchesQValue) {
+    // Complete incineration of carbon releases Q/(2*m(C12)) per gram:
+    // 13.933 MeV per 2 C12 = ~5.6e17 erg/g.
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    const Real rho = 5.0e9;
+    Real T = 1.0e9;
+    Real e_total = 0.0;
+    for (int rep = 0; rep < 40 && X[0] > 1e-3; ++rep) {
+        auto r = burnZone(net, eos, rho, T, X.data(), 1.0e-3);
+        ASSERT_TRUE(r.success);
+        T = r.T;
+        X = r.X;
+        e_total += r.e_nuc;
+    }
+    ASSERT_LT(X[0], 1e-3) << "carbon did not fully burn";
+    const Real q_per_gram = 13.933 * constants::MeV_to_erg * constants::N_A / 24.0;
+    EXPECT_NEAR(e_total / q_per_gram, 1.0, 0.05);
+}
+
+TEST(Burner, Aprox13AlphaChainFlowsUphill) {
+    // Silicon-burning-like conditions: helium capture should populate
+    // heavier alpha nuclei.
+    auto net = makeAprox13();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X(13, 0.0);
+    X[0] = 0.1; // he4
+    X[1] = 0.45;
+    X[2] = 0.45;
+    auto r = burnZone(net, eos, 1.0e7, 4.0e9, X.data(), 1.0e-6);
+    ASSERT_TRUE(r.success);
+    Real heavy = 0.0;
+    for (int i = 3; i < 13; ++i) heavy += r.X[i];
+    EXPECT_GT(heavy, 1e-6);
+    EXPECT_NEAR(std::accumulate(r.X.begin(), r.X.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Burner, SparseAndDenseSolvesAgree) {
+    auto net = makeAprox13();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X(13, 0.0);
+    X[0] = 0.2;
+    X[1] = 0.4;
+    X[2] = 0.4;
+    OdeOptions dense_opt, sparse_opt;
+    sparse_opt.use_sparse = true;
+    auto rd = burnZone(net, eos, 1.0e7, 3.5e9, X.data(), 1.0e-6, dense_opt);
+    auto rs = burnZone(net, eos, 1.0e7, 3.5e9, X.data(), 1.0e-6, sparse_opt);
+    ASSERT_TRUE(rd.success);
+    ASSERT_TRUE(rs.success);
+    EXPECT_NEAR(rs.T / rd.T, 1.0, 1e-5);
+    for (int i = 0; i < 13; ++i) EXPECT_NEAR(rs.X[i], rd.X[i], 1e-5);
+}
+
+TEST(Burner, BurningTimescaleShrinksWithTemperature) {
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {0.5, 0.5};
+    const Real t1 = burningTimescale(net, eos, 2.0e7, 1.5e9, X.data());
+    const Real t2 = burningTimescale(net, eos, 2.0e7, 3.0e9, X.data());
+    EXPECT_LT(t2, t1 / 100.0);
+    // Inert state: effectively infinite timescale.
+    std::vector<Real> ash = {0.0, 1.0};
+    EXPECT_GT(burningTimescale(net, eos, 2.0e7, 1.5e9, ash.data()), 1.0e50);
+}
+
+TEST(Burner, WorkVariesByOrdersOfMagnitudeAcrossZones) {
+    // Section VI: "the computational cost may vary by multiple orders of
+    // magnitude across zones" — an igniting zone vs a quiescent one.
+    auto net = makeIgnitionSimple();
+    Eos eos{HelmLiteEos{}};
+    std::vector<Real> X = {1.0, 0.0};
+    auto hot = burnZone(net, eos, 5.0e9, 1.2e9, X.data(), 1.0e-4);
+    auto cold = burnZone(net, eos, 1.0e6, 1.0e7, X.data(), 1.0e-4);
+    ASSERT_TRUE(hot.success);
+    ASSERT_TRUE(cold.success);
+    EXPECT_GT(hot.stats.steps, 30 * std::max<std::int64_t>(cold.stats.steps, 1));
+}
+
+TEST(Burner, KernelInfoRegisterPressure) {
+    // ignition_simple fits in registers; aprox13 exceeds the Volta cap.
+    auto small = burnKernelInfo(2, 50.0, 1.0);
+    auto big = burnKernelInfo(13, 50.0, 1.0);
+    EXPECT_LT(small.regs_per_thread, 255);
+    EXPECT_GT(big.regs_per_thread, 255);
+    EXPECT_GT(big.flops_per_zone, small.flops_per_zone);
+    auto skew = burnKernelInfo(13, 50.0, 25.0);
+    EXPECT_DOUBLE_EQ(skew.work_imbalance, 25.0);
+}
+
+TEST(BurnGridStats, ImbalanceMetric) {
+    BurnGridStats s;
+    s.zones = 100;
+    s.total_steps = 1000;
+    s.max_steps = 400;
+    EXPECT_DOUBLE_EQ(s.meanSteps(), 10.0);
+    EXPECT_DOUBLE_EQ(s.imbalance(), 40.0);
+}

@@ -1,0 +1,173 @@
+#include "microphysics/eos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace exa;
+
+TEST(GammaLawEos, IdealGasRelations) {
+    GammaLawEos eos{5.0 / 3.0};
+    EosState s;
+    s.rho = 1.0e-3;
+    s.T = 1.0e4;
+    s.abar = 1.0;
+    s.ye = 1.0;
+    eos.rhoT(s);
+    // p = rho k T / (abar m_u)
+    const Real p_expect = s.rho * constants::k_B * s.T / constants::m_u;
+    EXPECT_NEAR(s.p / p_expect, 1.0, 1e-12);
+    EXPECT_NEAR(s.e, 1.5 * p_expect / s.rho, 1e-3 * s.e);
+    EXPECT_NEAR(s.gamma1, 5.0 / 3.0, 1e-10);
+    EXPECT_NEAR(s.cs, std::sqrt(5.0 / 3.0 * s.p / s.rho), 1e-6 * s.cs);
+}
+
+TEST(GammaLawEos, RhoERoundTrip) {
+    GammaLawEos eos{1.4};
+    EosState s;
+    s.rho = 2.5;
+    s.T = 3.7e5;
+    s.abar = 2.0;
+    eos.rhoT(s);
+    const Real p0 = s.p, T0 = s.T;
+    EosState s2;
+    s2.rho = s.rho;
+    s2.e = s.e;
+    s2.abar = s.abar;
+    eos.rhoE(s2);
+    EXPECT_NEAR(s2.T, T0, 1e-10 * T0);
+    EXPECT_NEAR(s2.p, p0, 1e-10 * p0);
+}
+
+TEST(GammaLawEos, RhoPRoundTrip) {
+    GammaLawEos eos{1.4};
+    EosState s;
+    s.rho = 0.1;
+    s.p = 1.0e6;
+    s.abar = 1.0;
+    eos.rhoP(s);
+    EXPECT_NEAR((1.4 - 1.0) * s.rho * s.e, 1.0e6, 1.0);
+}
+
+TEST(HelmLiteEos, NonRelativisticDegenerateLimit) {
+    // At low density, P_deg -> K x^5 ~ rho^{5/3}: check the slope.
+    const Real ye = 0.5;
+    const Real p1 = HelmLiteEos::pDegenerate(1.0e2, ye);
+    const Real p2 = HelmLiteEos::pDegenerate(2.0e2, ye);
+    EXPECT_NEAR(std::log2(p2 / p1), 5.0 / 3.0, 0.02);
+}
+
+TEST(HelmLiteEos, RelativisticDegenerateLimit) {
+    // At very high density, P_deg ~ rho^{4/3}.
+    const Real ye = 0.5;
+    const Real p1 = HelmLiteEos::pDegenerate(1.0e10, ye);
+    const Real p2 = HelmLiteEos::pDegenerate(2.0e10, ye);
+    EXPECT_NEAR(std::log2(p2 / p1), 4.0 / 3.0, 0.02);
+}
+
+TEST(HelmLiteEos, WhiteDwarfCentralPressureMagnitude) {
+    // At rho = 2e6 g/cc (typical C/O WD interior), x ~ 1.01 and the
+    // degenerate pressure is ~3e22 dyn/cm^2 (transition regime).
+    const Real x = HelmLiteEos::xOf(2.0e6, 0.5);
+    EXPECT_NEAR(x, 1.008, 0.02);
+    const Real p = HelmLiteEos::pDegenerate(2.0e6, 0.5);
+    EXPECT_GT(p, 5.0e21);
+    EXPECT_LT(p, 1.0e23);
+}
+
+TEST(HelmLiteEos, PressureAlmostIndependentOfTemperature) {
+    // The paper's instability mechanism: degenerate matter barely responds
+    // to heating. At WD density, heating 1e7 -> 1e9 K changes P by < 10%.
+    HelmLiteEos eos;
+    EosState cold, hot;
+    cold.rho = hot.rho = 2.0e7;
+    cold.abar = hot.abar = 13.7; // C/O mix
+    cold.ye = hot.ye = 0.5;
+    cold.T = 1.0e7;
+    hot.T = 1.0e9;
+    eos.rhoT(cold);
+    eos.rhoT(hot);
+    EXPECT_LT((hot.p - cold.p) / cold.p, 0.10);
+    EXPECT_GT(hot.p, cold.p);
+}
+
+TEST(HelmLiteEos, IonRadiationLimitAtLowDensity) {
+    // Dilute gas: ions + radiation dominate the (zero-T) electron
+    // degeneracy term.
+    HelmLiteEos eos;
+    EosState s;
+    s.rho = 1.0e-6;
+    s.T = 1.0e5;
+    s.abar = 1.0;
+    s.ye = 1.0;
+    eos.rhoT(s);
+    const Real p_ion = s.rho * constants::k_B * s.T / constants::m_u;
+    const Real p_rad = constants::a_rad * std::pow(s.T, 4) / 3.0;
+    EXPECT_NEAR(s.p / (p_ion + p_rad), 1.0, 0.05);
+}
+
+TEST(HelmLiteEos, RhoEInversionRoundTrip) {
+    HelmLiteEos eos;
+    for (Real rho : {1.0e3, 1.0e5, 2.0e6, 1.0e8}) {
+        for (Real T : {1.0e7, 1.0e8, 2.0e9}) {
+            EosState s;
+            s.rho = rho;
+            s.T = T;
+            s.abar = 13.7;
+            s.ye = 0.5;
+            eos.rhoT(s);
+            EosState inv;
+            inv.rho = rho;
+            inv.e = s.e;
+            inv.abar = s.abar;
+            inv.ye = s.ye;
+            eos.rhoE(inv);
+            ASSERT_NEAR(inv.T / T, 1.0, 1e-6) << "rho=" << rho << " T=" << T;
+        }
+    }
+}
+
+TEST(HelmLiteEos, RhoPInversionRoundTrip) {
+    HelmLiteEos eos;
+    EosState s;
+    s.rho = 1.0e5;
+    s.T = 5.0e8;
+    s.abar = 13.7;
+    s.ye = 0.5;
+    eos.rhoT(s);
+    EosState inv;
+    inv.rho = s.rho;
+    inv.p = s.p;
+    inv.abar = s.abar;
+    inv.ye = s.ye;
+    eos.rhoP(inv);
+    EXPECT_NEAR(inv.T / s.T, 1.0, 1e-6);
+}
+
+TEST(HelmLiteEos, SoundSpeedBelowLight) {
+    HelmLiteEos eos;
+    EosState s;
+    s.rho = 1.0e9;
+    s.T = 1.0e9;
+    s.abar = 13.7;
+    s.ye = 0.5;
+    eos.rhoT(s);
+    EXPECT_GT(s.cs, 1.0e8);
+    EXPECT_LT(s.cs, constants::c_light);
+    EXPECT_GT(s.gamma1, 1.2);
+    EXPECT_LT(s.gamma1, 2.0);
+}
+
+TEST(Eos, RuntimeDispatch) {
+    Eos g{GammaLawEos{1.4}};
+    Eos h{HelmLiteEos{}};
+    EosState s1, s2;
+    s1.rho = s2.rho = 1.0e6;
+    s1.T = s2.T = 1.0e8;
+    s1.abar = s2.abar = 13.7;
+    s1.ye = s2.ye = 0.5;
+    g.rhoT(s1);
+    h.rhoT(s2);
+    EXPECT_NE(s1.p, s2.p); // degenerate pressure dominates in h
+    EXPECT_GT(s2.p, 10.0 * s1.p);
+}

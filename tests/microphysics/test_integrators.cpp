@@ -1,0 +1,222 @@
+#include "microphysics/bdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace exa;
+
+namespace {
+
+// y' = -k y, exact y(t) = y0 exp(-k t).
+class Decay final : public OdeSystem {
+public:
+    explicit Decay(Real k) : m_k(k) {}
+    int size() const override { return 1; }
+    void rhs(Real, const std::vector<Real>& y, std::vector<Real>& f) override {
+        f.resize(1);
+        f[0] = -m_k * y[0];
+    }
+    void jacobian(Real, const std::vector<Real>&, DenseMatrix& j) override {
+        j(0, 0) = -m_k;
+    }
+
+private:
+    Real m_k;
+};
+
+// The classic stiff Robertson problem.
+class Robertson final : public OdeSystem {
+public:
+    int size() const override { return 3; }
+    void rhs(Real, const std::vector<Real>& y, std::vector<Real>& f) override {
+        f.resize(3);
+        f[0] = -0.04 * y[0] + 1.0e4 * y[1] * y[2];
+        f[2] = 3.0e7 * y[1] * y[1];
+        f[1] = -f[0] - f[2];
+    }
+    void jacobian(Real, const std::vector<Real>& y, DenseMatrix& j) override {
+        j(0, 0) = -0.04;
+        j(0, 1) = 1.0e4 * y[2];
+        j(0, 2) = 1.0e4 * y[1];
+        j(2, 0) = 0.0;
+        j(2, 1) = 6.0e7 * y[1];
+        j(2, 2) = 0.0;
+        j(1, 0) = -j(0, 0) - j(2, 0);
+        j(1, 1) = -j(0, 1) - j(2, 1);
+        j(1, 2) = -j(0, 2) - j(2, 2);
+    }
+};
+
+// Two widely separated decay constants: stiff once the fast mode dies.
+class TwoScale final : public OdeSystem {
+public:
+    int size() const override { return 2; }
+    void rhs(Real, const std::vector<Real>& y, std::vector<Real>& f) override {
+        f.resize(2);
+        f[0] = -1.0e6 * y[0];
+        f[1] = -1.0 * y[1];
+    }
+    void jacobian(Real, const std::vector<Real>&, DenseMatrix& j) override {
+        j.setZero();
+        j(0, 0) = -1.0e6;
+        j(1, 1) = -1.0;
+    }
+};
+
+} // namespace
+
+TEST(BdfIntegrator, ExponentialDecayAccuracy) {
+    Decay sys(2.0);
+    std::vector<Real> y = {1.0};
+    OdeOptions opt;
+    opt.rtol = 1e-8;
+    opt.atol = 1e-12;
+    BdfIntegrator bdf;
+    auto stats = bdf.integrate(sys, y, 0.0, 3.0, opt);
+    EXPECT_TRUE(stats.success);
+    EXPECT_NEAR(y[0], std::exp(-6.0), 5e-6);
+    EXPECT_GT(stats.steps, 10);
+}
+
+TEST(BdfIntegrator, ToleranceControlsError) {
+    BdfIntegrator bdf;
+    auto run = [&](Real rtol) {
+        Decay sys(1.0);
+        std::vector<Real> y = {1.0};
+        OdeOptions opt;
+        opt.rtol = rtol;
+        opt.atol = 1e-14;
+        bdf.integrate(sys, y, 0.0, 2.0, opt);
+        return std::abs(y[0] - std::exp(-2.0));
+    };
+    EXPECT_LT(run(1e-9), run(1e-4));
+}
+
+TEST(BdfIntegrator, RobertsonStiffProblem) {
+    Robertson sys;
+    std::vector<Real> y = {1.0, 0.0, 0.0};
+    OdeOptions opt;
+    opt.rtol = 1e-7;
+    opt.atol = 1e-12;
+    BdfIntegrator bdf;
+    auto stats = bdf.integrate(sys, y, 0.0, 100.0, opt);
+    EXPECT_TRUE(stats.success);
+    // Reference values at t = 100 (from tight-tolerance integrations).
+    EXPECT_NEAR(y[0], 0.6172, 3e-3);
+    EXPECT_NEAR(y[1] * 1e5, 0.6153, 2e-2);
+    EXPECT_NEAR(y[2], 0.3828, 3e-3);
+    // Conservation: components sum to one.
+    EXPECT_NEAR(y[0] + y[1] + y[2], 1.0, 1e-9);
+    // Implicit handles this with modest steps.
+    EXPECT_LT(stats.steps, 5000);
+}
+
+TEST(BdfIntegrator, SparseMatchesDense) {
+    auto run = [&](bool sparse) {
+        Robertson sys;
+        std::vector<Real> y = {1.0, 0.0, 0.0};
+        OdeOptions opt;
+        opt.rtol = 1e-8;
+        opt.atol = 1e-13;
+        opt.use_sparse = sparse;
+        BdfIntegrator bdf;
+        auto st = bdf.integrate(sys, y, 0.0, 10.0, opt);
+        EXPECT_TRUE(st.success);
+        return y;
+    };
+    auto yd = run(false);
+    auto ys = run(true);
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-7);
+}
+
+TEST(BdfIntegrator, StiffStepCountBeatsExplicitByOrders) {
+    // The paper's core argument for implicit integration: explicit methods
+    // march at the fastest timescale.
+    TwoScale stiff_sys;
+    std::vector<Real> y_bdf = {1.0, 1.0};
+    OdeOptions opt;
+    opt.rtol = 1e-6;
+    opt.atol = 1e-12;
+    BdfIntegrator bdf;
+    auto st_bdf = bdf.integrate(stiff_sys, y_bdf, 0.0, 1.0, opt);
+    ASSERT_TRUE(st_bdf.success);
+
+    TwoScale sys2;
+    std::vector<Real> y_rk = {1.0, 1.0};
+    OdeOptions opt_rk = opt;
+    opt_rk.max_steps = 5'000'000;
+    RkIntegrator rk;
+    auto st_rk = rk.integrate(sys2, y_rk, 0.0, 1.0, opt_rk);
+    ASSERT_TRUE(st_rk.success);
+
+    EXPECT_NEAR(y_bdf[1], std::exp(-1.0), 1e-4);
+    EXPECT_NEAR(y_rk[1], std::exp(-1.0), 1e-4);
+    // Explicit needs h ~ 1/k = 1e-6 for stability -> ~1e5-1e6 steps;
+    // implicit takes a few hundred at most.
+    EXPECT_GT(st_rk.steps, 50 * st_bdf.steps);
+}
+
+TEST(BdfIntegrator, JacobianReuseSavesFactorizations) {
+    Robertson sys;
+    std::vector<Real> y = {1.0, 0.0, 0.0};
+    OdeOptions opt;
+    opt.rtol = 1e-6;
+    opt.atol = 1e-12;
+    BdfIntegrator bdf;
+    auto st = bdf.integrate(sys, y, 0.0, 100.0, opt);
+    ASSERT_TRUE(st.success);
+    EXPECT_LT(st.lu_factors, st.steps); // reuse across steps
+    EXPECT_LT(st.jac_evals, st.newton_iters);
+}
+
+TEST(BdfIntegrator, ZeroIntervalIsNoop) {
+    Decay sys(1.0);
+    std::vector<Real> y = {5.0};
+    BdfIntegrator bdf;
+    auto st = bdf.integrate(sys, y, 1.0, 1.0, OdeOptions{});
+    EXPECT_TRUE(st.success);
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_EQ(st.steps, 0);
+}
+
+TEST(RkIntegrator, NonStiffAccuracy) {
+    Decay sys(3.0);
+    std::vector<Real> y = {2.0};
+    OdeOptions opt;
+    opt.rtol = 1e-9;
+    opt.atol = 1e-13;
+    RkIntegrator rk;
+    auto st = rk.integrate(sys, y, 0.0, 1.0, opt);
+    EXPECT_TRUE(st.success);
+    EXPECT_NEAR(y[0], 2.0 * std::exp(-3.0), 1e-8);
+}
+
+TEST(OdeSystem, NumericalJacobianDefaultMatchesAnalytic) {
+    // A system that does NOT override jacobian() gets finite differences.
+    class NoJac final : public OdeSystem {
+    public:
+        int size() const override { return 2; }
+        void rhs(Real, const std::vector<Real>& y, std::vector<Real>& f) override {
+            f.resize(2);
+            f[0] = -2.0 * y[0] + y[1] * y[1];
+            f[1] = y[0] - 3.0 * y[1];
+        }
+    };
+    NoJac sys;
+    std::vector<Real> y = {1.0, 2.0};
+    DenseMatrix j(2);
+    sys.jacobian(0.0, y, j);
+    EXPECT_NEAR(j(0, 0), -2.0, 1e-5);
+    EXPECT_NEAR(j(0, 1), 4.0, 1e-5);
+    EXPECT_NEAR(j(1, 0), 1.0, 1e-5);
+    EXPECT_NEAR(j(1, 1), -3.0, 1e-5);
+}
+
+TEST(WrmsNorm, WeightsByToleranceScale) {
+    std::vector<Real> v = {1.0e-6, 1.0e-6};
+    std::vector<Real> y = {1.0, 1.0e-6};
+    // First component: weight 1/(1e-4*1+1e-8); second: 1/(1e-4*1e-6+1e-8).
+    const Real norm = wrmsNorm(v, y, 1e-4, 1e-8);
+    EXPECT_GT(norm, 1.0); // second component dominates (error >> tol)
+}

@@ -1,0 +1,108 @@
+#include "perf/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace exa;
+
+namespace {
+
+// A Castro-Sedov-like kernel mix: reconstruction+flux kernels per
+// dimension plus conservative update and EOS calls. Bandwidth-heavy,
+// moderate register pressure.
+StepModel sedovLikeStep() {
+    StepModel s;
+    s.kernels = {
+        {{"hydro_recon", 350.0, 700.0, 96, 1.0}, 3.0, 1.3},
+        {{"hydro_flux", 450.0, 500.0, 128, 1.0}, 3.0, 1.1},
+        {{"cons_update", 120.0, 400.0, 64, 1.0}, 1.0, 1.0},
+        {{"eos", 220.0, 180.0, 80, 1.0}, 2.0, 1.2},
+    };
+    s.fillboundary_phases_per_step = 2;
+    s.halo_ncomp = 6;
+    s.halo_ngrow = 4;
+    s.allreduces_per_step = 1;
+    return s;
+}
+
+} // namespace
+
+TEST(NearCubicFactors, FactorizesNodeCounts) {
+    int fx, fy, fz;
+    nearCubicFactors(8, fx, fy, fz);
+    EXPECT_EQ(fx * fy * fz, 8);
+    EXPECT_EQ(std::max({fx, fy, fz}), 2);
+    nearCubicFactors(512, fx, fy, fz);
+    EXPECT_EQ(fx * fy * fz, 512);
+    EXPECT_EQ(std::max({fx, fy, fz}), 8);
+    nearCubicFactors(27, fx, fy, fz);
+    EXPECT_EQ(std::max({fx, fy, fz}), 3);
+    nearCubicFactors(1, fx, fy, fz);
+    EXPECT_EQ(fx * fy * fz, 1);
+    nearCubicFactors(125, fx, fy, fz);
+    EXPECT_EQ(std::max({fx, fy, fz}), 5);
+    nearCubicFactors(6, fx, fy, fz);
+    EXPECT_EQ(fx * fy * fz, 6);
+}
+
+TEST(WeakScalingModel, SingleNodeThroughputIsFinite) {
+    WeakScalingModel model(MachineParams::summit());
+    auto pt = model.run(1, 256, 64, sedovLikeStep());
+    EXPECT_GT(pt.zones_per_usec, 10.0);
+    EXPECT_LT(pt.zones_per_usec, 2000.0);
+    EXPECT_GT(pt.compute_s, 0.0);
+    EXPECT_GT(pt.halo_s, 0.0);
+}
+
+TEST(WeakScalingModel, EfficiencyDecaysWithNodes) {
+    WeakScalingModel model(MachineParams::summit());
+    const StepModel step = sedovLikeStep();
+    const auto p1 = model.run(1, 256, 64, step);
+    const auto p8 = model.run(8, 256, 64, step);
+    const auto p64 = model.run(64, 256, 64, step);
+    const auto p512 = model.run(512, 256, 64, step);
+    auto eff = [&](const ScalingPoint& p) {
+        return p.zones_per_usec / (p1.zones_per_usec * p.nodes);
+    };
+    EXPECT_GT(eff(p8), eff(p64));
+    EXPECT_GT(eff(p64), eff(p512));
+    EXPECT_GT(eff(p512), 0.3); // loses efficiency but does not collapse
+    EXPECT_LT(eff(p512), 0.9);
+}
+
+TEST(WeakScalingModel, LoadQuantizationHurtsThroughput) {
+    // 64 boxes over 6 ranks (paper's fiducial case): ceil(64/6)=11 boxes on
+    // the busiest rank vs a perfectly divisible 12-rank layout.
+    WeakScalingModel model(MachineParams::summit());
+    const auto pt = model.run(1, 256, 64, sedovLikeStep());
+    EXPECT_NEAR(pt.imbalance, 11.0 * 6.0 / 64.0, 1e-12);
+}
+
+TEST(WeakScalingModel, SmallBoxesReduceSingleGpuThroughput) {
+    WeakScalingModel model(MachineParams::summit());
+    const StepModel step = sedovLikeStep();
+    const double t16 = model.singleGpuZonesPerUsec(128, 16, step);
+    const double t64 = model.singleGpuZonesPerUsec(128, 64, step);
+    EXPECT_GT(t64, 2.0 * t16);
+}
+
+TEST(WeakScalingModel, MultigridDominatesAtScale) {
+    // The Fig. 3 mechanism: MG share of the step grows with node count.
+    WeakScalingModel model(MachineParams::summit());
+    StepModel step;
+    step.kernels = {{{"burn", 30000.0, 600.0, 220, 1.0}, 1.0, 1.0}};
+    step.fillboundary_phases_per_step = 2;
+    step.halo_ncomp = 4;
+    step.halo_ngrow = 3;
+    MultigridModel mg;
+    const auto p1 = model.run(1, 128, 32, step, &mg);
+    const auto p125 = model.run(125, 128, 32, step, &mg);
+    const double share1 = p1.mg_s / p1.total_s;
+    const double share125 = p125.mg_s / p125.total_s;
+    EXPECT_GT(share125, share1);
+    EXPECT_GT(p125.mg_s / p125.compute_s, p1.mg_s / p1.compute_s);
+}
+
+TEST(WeakScalingModel, OneRankPerGpuLayout) {
+    WeakScalingModel model(MachineParams::summit());
+    EXPECT_EQ(model.machine().gpus_per_node, 6);
+}
