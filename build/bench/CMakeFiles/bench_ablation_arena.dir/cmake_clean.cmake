@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arena.dir/bench_ablation_arena.cpp.o"
+  "CMakeFiles/bench_ablation_arena.dir/bench_ablation_arena.cpp.o.d"
+  "bench_ablation_arena"
+  "bench_ablation_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_boxsize.dir/bench_ablation_boxsize.cpp.o"
+  "CMakeFiles/bench_ablation_boxsize.dir/bench_ablation_boxsize.cpp.o.d"
+  "bench_ablation_boxsize"
+  "bench_ablation_boxsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_boxsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

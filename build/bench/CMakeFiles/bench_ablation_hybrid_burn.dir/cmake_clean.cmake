@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid_burn.dir/bench_ablation_hybrid_burn.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid_burn.dir/bench_ablation_hybrid_burn.cpp.o.d"
+  "bench_ablation_hybrid_burn"
+  "bench_ablation_hybrid_burn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid_burn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tile_vs_zone.dir/bench_fig1_tile_vs_zone.cpp.o"
+  "CMakeFiles/bench_fig1_tile_vs_zone.dir/bench_fig1_tile_vs_zone.cpp.o.d"
+  "bench_fig1_tile_vs_zone"
+  "bench_fig1_tile_vs_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tile_vs_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_bubble_weak.cpp" "bench/CMakeFiles/bench_fig3_bubble_weak.dir/bench_fig3_bubble_weak.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_bubble_weak.dir/bench_fig3_bubble_weak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/maestro/CMakeFiles/exastro_maestro.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/exastro_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/castro/CMakeFiles/exastro_castro.dir/DependInfo.cmake"
+  "/root/repo/build/src/microphysics/CMakeFiles/exastro_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/exastro_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/exastro_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/exastro_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wd_collision.dir/bench_fig4_wd_collision.cpp.o"
+  "CMakeFiles/bench_fig4_wd_collision.dir/bench_fig4_wd_collision.cpp.o.d"
+  "bench_fig4_wd_collision"
+  "bench_fig4_wd_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wd_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_blast.dir/amr_blast.cpp.o"
+  "CMakeFiles/amr_blast.dir/amr_blast.cpp.o.d"
+  "amr_blast"
+  "amr_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

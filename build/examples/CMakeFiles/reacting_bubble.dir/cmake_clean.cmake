@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reacting_bubble.dir/reacting_bubble.cpp.o"
+  "CMakeFiles/reacting_bubble.dir/reacting_bubble.cpp.o.d"
+  "reacting_bubble"
+  "reacting_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reacting_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wd_collision.dir/wd_collision.cpp.o"
+  "CMakeFiles/wd_collision.dir/wd_collision.cpp.o.d"
+  "wd_collision"
+  "wd_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wd_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/castro/castro.cpp" "src/castro/CMakeFiles/exastro_castro.dir/castro.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/castro.cpp.o.d"
+  "/root/repo/src/castro/castro_amr.cpp" "src/castro/CMakeFiles/exastro_castro.dir/castro_amr.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/castro_amr.cpp.o.d"
+  "/root/repo/src/castro/gravity.cpp" "src/castro/CMakeFiles/exastro_castro.dir/gravity.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/gravity.cpp.o.d"
+  "/root/repo/src/castro/hydro.cpp" "src/castro/CMakeFiles/exastro_castro.dir/hydro.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/hydro.cpp.o.d"
+  "/root/repo/src/castro/react.cpp" "src/castro/CMakeFiles/exastro_castro.dir/react.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/react.cpp.o.d"
+  "/root/repo/src/castro/sedov.cpp" "src/castro/CMakeFiles/exastro_castro.dir/sedov.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/sedov.cpp.o.d"
+  "/root/repo/src/castro/wd_collision.cpp" "src/castro/CMakeFiles/exastro_castro.dir/wd_collision.cpp.o" "gcc" "src/castro/CMakeFiles/exastro_castro.dir/wd_collision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/exastro_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/microphysics/CMakeFiles/exastro_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/exastro_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

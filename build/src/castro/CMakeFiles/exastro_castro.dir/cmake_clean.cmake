@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_castro.dir/castro.cpp.o"
+  "CMakeFiles/exastro_castro.dir/castro.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/castro_amr.cpp.o"
+  "CMakeFiles/exastro_castro.dir/castro_amr.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/gravity.cpp.o"
+  "CMakeFiles/exastro_castro.dir/gravity.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/hydro.cpp.o"
+  "CMakeFiles/exastro_castro.dir/hydro.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/react.cpp.o"
+  "CMakeFiles/exastro_castro.dir/react.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/sedov.cpp.o"
+  "CMakeFiles/exastro_castro.dir/sedov.cpp.o.d"
+  "CMakeFiles/exastro_castro.dir/wd_collision.cpp.o"
+  "CMakeFiles/exastro_castro.dir/wd_collision.cpp.o.d"
+  "libexastro_castro.a"
+  "libexastro_castro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_castro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

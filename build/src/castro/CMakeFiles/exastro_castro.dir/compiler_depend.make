@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exastro_castro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_comm.dir/halo_pattern.cpp.o"
+  "CMakeFiles/exastro_comm.dir/halo_pattern.cpp.o.d"
+  "CMakeFiles/exastro_comm.dir/ledger.cpp.o"
+  "CMakeFiles/exastro_comm.dir/ledger.cpp.o.d"
+  "CMakeFiles/exastro_comm.dir/network.cpp.o"
+  "CMakeFiles/exastro_comm.dir/network.cpp.o.d"
+  "libexastro_comm.a"
+  "libexastro_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

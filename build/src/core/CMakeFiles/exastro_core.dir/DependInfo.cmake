@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arena.cpp" "src/core/CMakeFiles/exastro_core.dir/arena.cpp.o" "gcc" "src/core/CMakeFiles/exastro_core.dir/arena.cpp.o.d"
+  "/root/repo/src/core/box.cpp" "src/core/CMakeFiles/exastro_core.dir/box.cpp.o" "gcc" "src/core/CMakeFiles/exastro_core.dir/box.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/exastro_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/exastro_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/timer.cpp" "src/core/CMakeFiles/exastro_core.dir/timer.cpp.o" "gcc" "src/core/CMakeFiles/exastro_core.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_core.dir/arena.cpp.o"
+  "CMakeFiles/exastro_core.dir/arena.cpp.o.d"
+  "CMakeFiles/exastro_core.dir/box.cpp.o"
+  "CMakeFiles/exastro_core.dir/box.cpp.o.d"
+  "CMakeFiles/exastro_core.dir/executor.cpp.o"
+  "CMakeFiles/exastro_core.dir/executor.cpp.o.d"
+  "CMakeFiles/exastro_core.dir/timer.cpp.o"
+  "CMakeFiles/exastro_core.dir/timer.cpp.o.d"
+  "libexastro_core.a"
+  "libexastro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_maestro.dir/base_state.cpp.o"
+  "CMakeFiles/exastro_maestro.dir/base_state.cpp.o.d"
+  "CMakeFiles/exastro_maestro.dir/maestro.cpp.o"
+  "CMakeFiles/exastro_maestro.dir/maestro.cpp.o.d"
+  "libexastro_maestro.a"
+  "libexastro_maestro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_maestro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/amr_core.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/amr_core.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/amr_core.cpp.o.d"
+  "/root/repo/src/mesh/box_array.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/box_array.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/box_array.cpp.o.d"
+  "/root/repo/src/mesh/comm_hooks.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/comm_hooks.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/comm_hooks.cpp.o.d"
+  "/root/repo/src/mesh/distribution.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/distribution.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/distribution.cpp.o.d"
+  "/root/repo/src/mesh/fab.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/fab.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/fab.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/geometry.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/geometry.cpp.o.d"
+  "/root/repo/src/mesh/interp.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/interp.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/interp.cpp.o.d"
+  "/root/repo/src/mesh/multifab.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/multifab.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/multifab.cpp.o.d"
+  "/root/repo/src/mesh/phys_bc.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/phys_bc.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/phys_bc.cpp.o.d"
+  "/root/repo/src/mesh/plotfile.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/plotfile.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/plotfile.cpp.o.d"
+  "/root/repo/src/mesh/tagging.cpp" "src/mesh/CMakeFiles/exastro_mesh.dir/tagging.cpp.o" "gcc" "src/mesh/CMakeFiles/exastro_mesh.dir/tagging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_mesh.dir/amr_core.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/amr_core.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/box_array.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/box_array.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/comm_hooks.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/comm_hooks.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/distribution.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/distribution.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/fab.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/fab.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/geometry.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/geometry.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/interp.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/interp.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/multifab.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/multifab.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/phys_bc.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/phys_bc.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/plotfile.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/plotfile.cpp.o.d"
+  "CMakeFiles/exastro_mesh.dir/tagging.cpp.o"
+  "CMakeFiles/exastro_mesh.dir/tagging.cpp.o.d"
+  "libexastro_mesh.a"
+  "libexastro_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

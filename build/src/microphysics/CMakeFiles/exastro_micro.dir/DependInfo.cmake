@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microphysics/bdf.cpp" "src/microphysics/CMakeFiles/exastro_micro.dir/bdf.cpp.o" "gcc" "src/microphysics/CMakeFiles/exastro_micro.dir/bdf.cpp.o.d"
+  "/root/repo/src/microphysics/burner.cpp" "src/microphysics/CMakeFiles/exastro_micro.dir/burner.cpp.o" "gcc" "src/microphysics/CMakeFiles/exastro_micro.dir/burner.cpp.o.d"
+  "/root/repo/src/microphysics/eos.cpp" "src/microphysics/CMakeFiles/exastro_micro.dir/eos.cpp.o" "gcc" "src/microphysics/CMakeFiles/exastro_micro.dir/eos.cpp.o.d"
+  "/root/repo/src/microphysics/linalg.cpp" "src/microphysics/CMakeFiles/exastro_micro.dir/linalg.cpp.o" "gcc" "src/microphysics/CMakeFiles/exastro_micro.dir/linalg.cpp.o.d"
+  "/root/repo/src/microphysics/network.cpp" "src/microphysics/CMakeFiles/exastro_micro.dir/network.cpp.o" "gcc" "src/microphysics/CMakeFiles/exastro_micro.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_micro.dir/bdf.cpp.o"
+  "CMakeFiles/exastro_micro.dir/bdf.cpp.o.d"
+  "CMakeFiles/exastro_micro.dir/burner.cpp.o"
+  "CMakeFiles/exastro_micro.dir/burner.cpp.o.d"
+  "CMakeFiles/exastro_micro.dir/eos.cpp.o"
+  "CMakeFiles/exastro_micro.dir/eos.cpp.o.d"
+  "CMakeFiles/exastro_micro.dir/linalg.cpp.o"
+  "CMakeFiles/exastro_micro.dir/linalg.cpp.o.d"
+  "CMakeFiles/exastro_micro.dir/network.cpp.o"
+  "CMakeFiles/exastro_micro.dir/network.cpp.o.d"
+  "libexastro_micro.a"
+  "libexastro_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_perf.dir/device_model.cpp.o"
+  "CMakeFiles/exastro_perf.dir/device_model.cpp.o.d"
+  "CMakeFiles/exastro_perf.dir/scaling.cpp.o"
+  "CMakeFiles/exastro_perf.dir/scaling.cpp.o.d"
+  "libexastro_perf.a"
+  "libexastro_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexastro_perf.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exastro_solvers.dir/multigrid.cpp.o"
+  "CMakeFiles/exastro_solvers.dir/multigrid.cpp.o.d"
+  "libexastro_solvers.a"
+  "libexastro_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exastro_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

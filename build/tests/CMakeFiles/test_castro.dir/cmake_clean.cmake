@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_castro.dir/castro/test_castro_amr.cpp.o"
+  "CMakeFiles/test_castro.dir/castro/test_castro_amr.cpp.o.d"
+  "CMakeFiles/test_castro.dir/castro/test_castro_physics.cpp.o"
+  "CMakeFiles/test_castro.dir/castro/test_castro_physics.cpp.o.d"
+  "CMakeFiles/test_castro.dir/castro/test_hydro.cpp.o"
+  "CMakeFiles/test_castro.dir/castro/test_hydro.cpp.o.d"
+  "CMakeFiles/test_castro.dir/castro/test_properties.cpp.o"
+  "CMakeFiles/test_castro.dir/castro/test_properties.cpp.o.d"
+  "test_castro"
+  "test_castro.pdb"
+  "test_castro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_castro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_castro.
+# This may be replaced when dependencies are built.

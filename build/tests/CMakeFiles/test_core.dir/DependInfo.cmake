@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_arena.cpp" "tests/CMakeFiles/test_core.dir/core/test_arena.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_arena.cpp.o.d"
+  "/root/repo/tests/core/test_array4.cpp" "tests/CMakeFiles/test_core.dir/core/test_array4.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_array4.cpp.o.d"
+  "/root/repo/tests/core/test_box.cpp" "tests/CMakeFiles/test_core.dir/core/test_box.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_box.cpp.o.d"
+  "/root/repo/tests/core/test_parallel_for.cpp" "tests/CMakeFiles/test_core.dir/core/test_parallel_for.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_parallel_for.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

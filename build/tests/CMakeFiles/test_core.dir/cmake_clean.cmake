@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_arena.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_arena.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_array4.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_array4.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_box.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_box.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_parallel_for.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_parallel_for.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

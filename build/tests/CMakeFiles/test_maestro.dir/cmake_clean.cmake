@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maestro.dir/maestro/test_maestro.cpp.o"
+  "CMakeFiles/test_maestro.dir/maestro/test_maestro.cpp.o.d"
+  "test_maestro"
+  "test_maestro.pdb"
+  "test_maestro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maestro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

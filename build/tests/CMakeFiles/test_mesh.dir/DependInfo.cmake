@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mesh/test_amr.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_amr.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_amr.cpp.o.d"
+  "/root/repo/tests/mesh/test_box_array.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_box_array.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_box_array.cpp.o.d"
+  "/root/repo/tests/mesh/test_geometry.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_geometry.cpp.o.d"
+  "/root/repo/tests/mesh/test_interp.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_interp.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_interp.cpp.o.d"
+  "/root/repo/tests/mesh/test_multifab.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_multifab.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_multifab.cpp.o.d"
+  "/root/repo/tests/mesh/test_phys_bc.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_phys_bc.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_phys_bc.cpp.o.d"
+  "/root/repo/tests/mesh/test_plotfile.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_plotfile.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_plotfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/exastro_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/exastro_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/exastro_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/test_amr.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_amr.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_box_array.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_box_array.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_geometry.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_geometry.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_interp.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_interp.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_multifab.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_multifab.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_phys_bc.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_phys_bc.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_plotfile.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_plotfile.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+  "test_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/microphysics/test_burner.cpp" "tests/CMakeFiles/test_micro.dir/microphysics/test_burner.cpp.o" "gcc" "tests/CMakeFiles/test_micro.dir/microphysics/test_burner.cpp.o.d"
+  "/root/repo/tests/microphysics/test_eos.cpp" "tests/CMakeFiles/test_micro.dir/microphysics/test_eos.cpp.o" "gcc" "tests/CMakeFiles/test_micro.dir/microphysics/test_eos.cpp.o.d"
+  "/root/repo/tests/microphysics/test_integrators.cpp" "tests/CMakeFiles/test_micro.dir/microphysics/test_integrators.cpp.o" "gcc" "tests/CMakeFiles/test_micro.dir/microphysics/test_integrators.cpp.o.d"
+  "/root/repo/tests/microphysics/test_linalg.cpp" "tests/CMakeFiles/test_micro.dir/microphysics/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_micro.dir/microphysics/test_linalg.cpp.o.d"
+  "/root/repo/tests/microphysics/test_network.cpp" "tests/CMakeFiles/test_micro.dir/microphysics/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_micro.dir/microphysics/test_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microphysics/CMakeFiles/exastro_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro.dir/microphysics/test_burner.cpp.o"
+  "CMakeFiles/test_micro.dir/microphysics/test_burner.cpp.o.d"
+  "CMakeFiles/test_micro.dir/microphysics/test_eos.cpp.o"
+  "CMakeFiles/test_micro.dir/microphysics/test_eos.cpp.o.d"
+  "CMakeFiles/test_micro.dir/microphysics/test_integrators.cpp.o"
+  "CMakeFiles/test_micro.dir/microphysics/test_integrators.cpp.o.d"
+  "CMakeFiles/test_micro.dir/microphysics/test_linalg.cpp.o"
+  "CMakeFiles/test_micro.dir/microphysics/test_linalg.cpp.o.d"
+  "CMakeFiles/test_micro.dir/microphysics/test_network.cpp.o"
+  "CMakeFiles/test_micro.dir/microphysics/test_network.cpp.o.d"
+  "test_micro"
+  "test_micro.pdb"
+  "test_micro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perf/test_device_model.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_device_model.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_device_model.cpp.o.d"
+  "/root/repo/tests/perf/test_scaling.cpp" "tests/CMakeFiles/test_perf.dir/perf/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/test_perf.dir/perf/test_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/exastro_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/exastro_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/exastro_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exastro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
