@@ -3,6 +3,7 @@
 #include "core/parallel_for.hpp"
 
 #include <cassert>
+#include <limits>
 
 namespace exa::castro {
 
@@ -129,7 +130,7 @@ void CastroAmr::ErrorEst(int lev, MultiFab& tags) {
 }
 
 Real CastroAmr::estimateDt() const {
-    Real dt = 1.0e300;
+    Real dt = std::numeric_limits<Real>::infinity();
     for (int lev = 0; lev <= finestLevel(); ++lev) {
         dt = std::min(dt, castro::estimateDt(m_state[lev], geom(lev), m_net, m_eos,
                                              m_opt.cfl));

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace exa::castro {
 
@@ -276,7 +277,10 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
 Real estimateDt(const MultiFab& state, const Geometry& geom,
                 const ReactionNetwork& net, const Eos& eos, Real cfl) {
     const int nspec = net.nspec();
-    Real dt = 1.0e300;
+    // Identity of the min-reduction: +inf when no zone bounds the step
+    // (empty state), so callers see "no CFL constraint" rather than a
+    // large-but-finite magic number.
+    Real dt = std::numeric_limits<Real>::infinity();
     for (std::size_t f = 0; f < state.size(); ++f) {
         const int fi = static_cast<int>(f);
         const Box& vb = state.box(fi);

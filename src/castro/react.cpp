@@ -61,7 +61,7 @@ BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos&
         // hybrid option the outlier zones (the Section VI candidates for
         // host-side integration) are removed from the device's
         // imbalance before pricing the launch.
-        if (ExecConfig::backend() == Backend::SimGpu && !zone_steps.empty()) {
+        if (ExecConfig::accountsLaunches() && !zone_steps.empty()) {
             std::vector<std::int64_t> sorted = zone_steps;
             std::sort(sorted.begin(), sorted.end());
             const std::int64_t median = sorted[sorted.size() / 2];

@@ -2,9 +2,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace exa {
@@ -16,9 +18,10 @@ namespace exa {
 // viable on the GPU.
 struct ArenaStats {
     std::uint64_t allocs = 0;        // total allocate() calls
-    std::uint64_t frees = 0;         // total deallocate() calls
+    std::uint64_t frees = 0;         // total deallocate() calls of owned blocks
     std::uint64_t slow_allocs = 0;   // calls that hit the backing allocator
     std::uint64_t pool_hits = 0;     // calls satisfied from the free list
+    std::uint64_t bad_frees = 0;     // deallocate() of pointers we never handed out
     std::uint64_t bytes_in_use = 0;  // currently handed out
     std::uint64_t bytes_reserved = 0;// handed out + cached in free lists
     std::uint64_t hwm_bytes = 0;     // high-water mark of bytes_in_use
@@ -28,15 +31,27 @@ struct ArenaStats {
 // how allocation maps onto the underlying allocator; all state that an
 // application allocates through an arena is considered device-resident
 // under the simulated GPU backend.
+//
+// Every live Arena is tracked in a process-wide registry so the
+// Backend::Debug contract checker can snapshot/restore all device-resident
+// state around a kernel launch (see core/debug.hpp).
 class Arena {
 public:
-    virtual ~Arena() = default;
+    Arena();
+    virtual ~Arena();
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
 
     virtual void* allocate(std::size_t bytes) = 0;
     virtual void deallocate(void* p) = 0;
 
     // Release cached (not-in-use) memory back to the system.
     virtual void releaseCached() {}
+
+    // Visit every currently live (handed-out) block as (pointer, bytes).
+    // Used by the debug backend to enumerate device-resident state.
+    virtual void forEachLive(const std::function<void(void*, std::size_t)>& cb) const = 0;
 
     ArenaStats stats() const {
         std::lock_guard<std::mutex> lk(m_mutex);
@@ -52,6 +67,10 @@ protected:
     ArenaStats m_stats;
 };
 
+// Visit every live block of every Arena currently alive in the process.
+// The callback must not allocate from or free into any arena.
+void forEachLiveArenaBlock(const std::function<void(void*, std::size_t)>& cb);
+
 // Pass-through arena: every allocate() is a fresh call to the system
 // allocator. This models the pre-optimization behaviour in which every
 // per-timestep temporary triggered a cudaMalloc.
@@ -59,6 +78,7 @@ class MallocArena final : public Arena {
 public:
     void* allocate(std::size_t bytes) override;
     void deallocate(void* p) override;
+    void forEachLive(const std::function<void(void*, std::size_t)>& cb) const override;
 
 private:
     std::map<void*, std::size_t> m_live; // to account bytes on free
@@ -76,23 +96,96 @@ public:
     void* allocate(std::size_t bytes) override;
     void deallocate(void* p) override;
     void releaseCached() override;
+    void forEachLive(const std::function<void(void*, std::size_t)>& cb) const override;
 
-private:
-    // Size class: smallest power of two >= max(bytes, min_block).
+    // Size class: smallest power of two >= max(bytes, min_block). Requests
+    // above the top power-of-two class fall through to a direct allocation
+    // of the exact (alignment-rounded) size instead of looping forever on
+    // shift overflow.
     std::size_t sizeClass(std::size_t bytes) const;
 
+private:
     std::size_t m_min_block;
     std::map<std::size_t, std::vector<void*>> m_free; // size class -> blocks
     std::map<void*, std::size_t> m_live;              // block -> size class
 };
 
+// Per-GuardArena diagnostic counters, beyond the common ArenaStats.
+struct GuardStats {
+    std::uint64_t canary_overflows = 0;  // footer canary stomped (write past end)
+    std::uint64_t canary_underflows = 0; // header canary stomped (write before start)
+    std::uint64_t double_frees = 0;      // deallocate() of an already-freed block
+    std::uint64_t bad_frees = 0;         // deallocate() of a pointer we never issued
+    std::uint64_t leaked_blocks = 0;     // live blocks remaining at report time
+    std::uint64_t leaked_bytes = 0;
+};
+
+// Guarded decorator over any Arena: every allocation is bracketed by
+// header/footer canary pages, freed memory is poisoned before returning to
+// the underlying arena, double frees and foreign frees are detected rather
+// than forwarded, and a leak report runs at destruction (process exit for
+// theGuardArena()). Selectable at runtime like the pool/malloc arenas via
+// EXA_ARENA=guard or setTheArena(&theGuardArena()).
+//
+// Violations are routed through the debug-violation reporter
+// (exa::debug::reportViolation), so by default they abort the process with
+// a message naming this arena; tests can disable the abort and inspect
+// counters instead.
+class GuardArena final : public Arena {
+public:
+    explicit GuardArena(Arena* underlying = nullptr, std::string name = "guard");
+    ~GuardArena() override;
+
+    void* allocate(std::size_t bytes) override;
+    void deallocate(void* p) override;
+    void releaseCached() override;
+    void forEachLive(const std::function<void(void*, std::size_t)>& cb) const override;
+
+    GuardStats guardStats() const;
+
+    // Verify the canaries of every live block now (O(live blocks)).
+    // Returns the number of violations found (also reported/counted).
+    std::uint64_t checkAll();
+
+    // Human-readable leak/violation summary (also printed at destruction
+    // when anything is outstanding).
+    std::string report() const;
+
+    static constexpr std::size_t canary_bytes = 64;
+    static constexpr unsigned char canary_byte = 0xC5;
+    static constexpr unsigned char poison_byte = 0xDD;
+
+private:
+    struct Block {
+        void* base;        // pointer returned by the underlying arena
+        std::size_t bytes; // user-visible size
+    };
+
+    // m_mutex held; reports + counts any canary violation of `b`.
+    std::uint64_t checkCanaries(void* user, const Block& b);
+
+    Arena* m_under;
+    std::string m_name;
+    std::map<void*, Block> m_live;        // user pointer -> block
+    std::unordered_set<void*> m_freed;    // user pointers freed and not re-issued
+    GuardStats m_gstats;
+};
+
 // The global arenas. The_Arena() is what MultiFabs and scratch data
 // allocate from; by default it is the caching pool arena, matching the
-// paper's contributed change to AMReX. setTheArena() lets the allocator
-// ablation swap in the malloc arena.
+// paper's contributed change to AMReX, unless the EXA_ARENA environment
+// variable selects another ("pool", "malloc", "guard"). setTheArena() lets
+// the allocator ablation swap in any arena at runtime.
 Arena* The_Arena();
 void setTheArena(Arena* a);
 PoolArena& thePoolArena();
 MallocArena& theMallocArena();
+GuardArena& theGuardArena(); // guards thePoolArena()
+
+// The arena selected by the EXA_ARENA environment variable (nullptr name
+// or an unknown name yields the pool arena). This is what The_Arena()
+// falls back to when no arena has been set.
+Arena* arenaFromName(const char* name);
+Arena* defaultArena();
 
 } // namespace exa

@@ -19,9 +19,19 @@ namespace exa {
 //            bit-identical to Serial; in addition every launch is reported
 //            to the registered device-model hook, which charges modeled
 //            V100 time (launch latency, occupancy, bandwidth).
-enum class Backend { Serial, OpenMP, SimGpu };
+//   Debug  : verification mode (core/debug.hpp). Each launch runs in
+//            forward, reversed, and shuffled zone order against a snapshot
+//            of all arena-resident state; order-dependent results and
+//            same-address writes from different zones are reported as GPU
+//            contract violations, naming the KernelInfo. Results remain
+//            bit-identical to Serial.
+enum class Backend { Serial, OpenMP, SimGpu, Debug };
 
 const char* backendName(Backend b);
+// Parse a backend name ("serial", "openmp", "simgpu", "debug"); unknown or
+// null names yield Backend::Serial. The EXA_BACKEND environment variable
+// is fed through this at startup to pick the initial backend.
+Backend backendFromName(const char* name);
 
 // Static per-kernel traits used by the simulated GPU device model to price
 // a launch. They are the quantities the paper identifies as the real
@@ -60,6 +70,10 @@ class ExecConfig {
 public:
     static Backend backend() { return s_backend; }
     static void setBackend(Backend b) { s_backend = b; }
+
+    // True when the device model is accounting launches (drivers consult
+    // this before assembling LaunchRecords for e.g. burn imbalance).
+    static bool accountsLaunches() { return s_backend == Backend::SimGpu; }
 
     // Tile size for the OpenMP tiled backend (zones per dim; z unsplit).
     static IntVect tileSize() { return s_tile_size; }

@@ -16,10 +16,12 @@
 // keyed by its own (i,j,k[,n]).
 
 #include "core/box.hpp"
+#include "core/debug.hpp"
 #include "core/executor.hpp"
 #include "core/real.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace exa {
@@ -101,6 +103,9 @@ void ParallelFor(const KernelInfo& ki, const Box& box, F&& f) {
             detail::record_launch(ki, box.numPts(), 1);
             detail::serial_for(box, std::forward<F>(f));
             break;
+        case Backend::Debug:
+            debug::checked_for(ki, box, std::forward<F>(f));
+            break;
     }
 }
 
@@ -125,6 +130,9 @@ void ParallelFor(const KernelInfo& ki, const Box& box, int ncomp, F&& f) {
             detail::record_launch(ki, box.numPts(), ncomp);
             detail::serial_for(box, ncomp, std::forward<F>(f));
             break;
+        case Backend::Debug:
+            debug::checked_for(ki, box, ncomp, std::forward<F>(f));
+            break;
     }
 }
 
@@ -134,6 +142,10 @@ void ParallelFor(const Box& box, int ncomp, F&& f) {
 }
 
 // --- 1-D ParallelFor -----------------------------------------------------
+//
+// 1-D launches run unchecked (plain serial) under Backend::Debug: their
+// targets are frequently host-side lists rather than arena state, so the
+// snapshot/replay machinery of the box variants does not apply.
 
 template <typename F>
 void ParallelFor(const KernelInfo& ki, std::int64_t n, F&& f) {
@@ -196,11 +208,13 @@ Real ParallelReduceSum(const Box& box, F&& f) {
 
 template <typename F>
 Real ParallelReduceMax(const KernelInfo& ki, const Box& box, F&& f) {
-    if (!box.ok()) return -1.0e300;
+    // Identity of max: an empty box (or empty MultiFab) reduces to -inf,
+    // so that max(empty, x) == x for every finite x.
+    if (!box.ok()) return -std::numeric_limits<Real>::infinity();
     if (ExecConfig::backend() == Backend::SimGpu) {
         detail::record_launch(ki, box.numPts(), 1);
     }
-    Real m = -1.0e300;
+    Real m = -std::numeric_limits<Real>::infinity();
     const Dim3 lo = box.loDim3();
     const Dim3 hi = box.hiDim3();
 #if defined(EXA_USE_OPENMP)

@@ -11,6 +11,7 @@ TimerRegistry& TimerRegistry::instance() {
 }
 
 std::string TimerRegistry::report() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
     std::ostringstream os;
     os << std::left << std::setw(32) << "region" << std::right << std::setw(14)
        << "seconds" << std::setw(10) << "calls" << '\n';

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,26 +27,35 @@ private:
 // bracket regions with TimerRegion and the report prints inclusive time
 // and call counts. This is how the benches split, e.g., multigrid time
 // from nuclear-burning time (the Fig. 3 discussion).
+//
+// Thread-safe: TimerRegion is used inside OpenMP-backend regions, so every
+// access to the entry map takes the registry mutex.
 class TimerRegistry {
 public:
     static TimerRegistry& instance();
 
     void add(const std::string& name, double seconds) {
+        std::lock_guard<std::mutex> lk(m_mutex);
         auto& e = m_entries[name];
         e.seconds += seconds;
         ++e.calls;
     }
 
     double seconds(const std::string& name) const {
+        std::lock_guard<std::mutex> lk(m_mutex);
         auto it = m_entries.find(name);
         return it == m_entries.end() ? 0.0 : it->second.seconds;
     }
     std::uint64_t calls(const std::string& name) const {
+        std::lock_guard<std::mutex> lk(m_mutex);
         auto it = m_entries.find(name);
         return it == m_entries.end() ? 0 : it->second.calls;
     }
 
-    void reset() { m_entries.clear(); }
+    void reset() {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        m_entries.clear();
+    }
 
     std::string report() const;
 
@@ -54,6 +64,7 @@ private:
         double seconds = 0.0;
         std::uint64_t calls = 0;
     };
+    mutable std::mutex m_mutex;
     std::map<std::string, Entry> m_entries;
 };
 

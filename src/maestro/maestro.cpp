@@ -229,7 +229,7 @@ BurnGridStats Maestro::react(Real dt) {
         stats.zones += fab_zones;
         stats.total_steps += fab_steps;
         stats.max_steps = std::max(stats.max_steps, fab_max);
-        if (ExecConfig::backend() == Backend::SimGpu && fab_zones > 0) {
+        if (ExecConfig::accountsLaunches() && fab_zones > 0) {
             const double mean = static_cast<double>(fab_steps) / fab_zones;
             LaunchRecord rec;
             rec.info = burnKernelInfo(nspec, std::max(mean, 1.0),

@@ -81,13 +81,15 @@ void FArrayBox::copyFrom(const FArrayBox& src, const Box& srcbox, int scomp,
 void FArrayBox::plus(Real v, const Box& region, int comp, int ncomp) {
     auto a = array();
     const Box b = region & m_box;
-    ParallelFor(b, ncomp, [=](int i, int j, int k, int n) { a(i, j, k, comp + n) += v; });
+    ParallelFor(KernelInfo::streaming("fab_plus", 16.0 * ncomp), b, ncomp,
+                [=](int i, int j, int k, int n) { a(i, j, k, comp + n) += v; });
 }
 
 void FArrayBox::mult(Real v, const Box& region, int comp, int ncomp) {
     auto a = array();
     const Box b = region & m_box;
-    ParallelFor(b, ncomp, [=](int i, int j, int k, int n) { a(i, j, k, comp + n) *= v; });
+    ParallelFor(KernelInfo::streaming("fab_mult", 16.0 * ncomp), b, ncomp,
+                [=](int i, int j, int k, int n) { a(i, j, k, comp + n) *= v; });
 }
 
 void FArrayBox::saxpy(Real a, const FArrayBox& src, const Box& region, int scomp,
@@ -95,9 +97,10 @@ void FArrayBox::saxpy(Real a, const FArrayBox& src, const Box& region, int scomp
     auto d = array();
     auto s = src.const_array();
     const Box b = region & m_box & src.box();
-    ParallelFor(b, ncomp, [=](int i, int j, int k, int n) {
-        d(i, j, k, dcomp + n) += a * s(i, j, k, scomp + n);
-    });
+    ParallelFor(KernelInfo::streaming("fab_saxpy", 24.0 * ncomp), b, ncomp,
+                [=](int i, int j, int k, int n) {
+                    d(i, j, k, dcomp + n) += a * s(i, j, k, scomp + n);
+                });
 }
 
 Real FArrayBox::max(const Box& region, int comp) const {

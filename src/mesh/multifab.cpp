@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace exa {
 
@@ -103,7 +104,9 @@ Real MultiFab::sum(int comp) const {
 }
 
 Real MultiFab::min(int comp) const {
-    Real m = 1.0e300;
+    // Reduction identity: an empty (or undefined) MultiFab has min +inf
+    // and max -inf, so folding it into a larger reduction is a no-op.
+    Real m = std::numeric_limits<Real>::infinity();
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
         m = std::min(m, m_fabs[i].min(m_ba[i], comp));
     }
@@ -111,7 +114,7 @@ Real MultiFab::min(int comp) const {
 }
 
 Real MultiFab::max(int comp) const {
-    Real m = -1.0e300;
+    Real m = -std::numeric_limits<Real>::infinity();
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
         m = std::max(m, m_fabs[i].max(m_ba[i], comp));
     }

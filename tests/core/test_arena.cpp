@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -84,11 +85,94 @@ TEST(PoolArena, NullFreeIsNoop) {
     EXPECT_EQ(arena.stats().frees, 0u);
 }
 
-TEST(TheArena, DefaultIsPoolAndSwappable) {
+TEST(MallocArena, ForeignFreeIsRefusedAndCounted) {
+    // Regression: a pointer the arena never issued used to be passed
+    // straight to std::free (heap corruption) and decrement bytes_in_use
+    // below zero (stat corruption, as the counters are unsigned).
+    MallocArena arena;
+    int stack_var = 0;
+    arena.deallocate(&stack_var);
+    auto s = arena.stats();
+    EXPECT_EQ(s.bad_frees, 1u);
+    EXPECT_EQ(s.frees, 0u);
+    EXPECT_EQ(s.bytes_in_use, 0u);
+}
+
+TEST(MallocArena, DoubleFreeIsRefusedAndCounted) {
+    MallocArena arena;
+    void* p = arena.allocate(128);
+    arena.deallocate(p);
+    arena.deallocate(p); // second free must be refused, not forwarded
+    auto s = arena.stats();
+    EXPECT_EQ(s.frees, 1u);
+    EXPECT_EQ(s.bad_frees, 1u);
+    EXPECT_EQ(s.bytes_in_use, 0u);
+}
+
+TEST(PoolArena, ForeignFreeIsRefusedAndCounted) {
+    PoolArena arena;
+    int stack_var = 0;
+    arena.deallocate(&stack_var);
+    auto s = arena.stats();
+    EXPECT_EQ(s.bad_frees, 1u);
+    EXPECT_EQ(s.frees, 0u);
+}
+
+TEST(PoolArena, SizeClassClampsAtTopPowerOfTwo) {
+    // Regression: sizes above the top power of two representable in
+    // size_t made `cls <<= 1` overflow to zero and loop forever. Such
+    // requests now get an exact-size class (direct allocation).
+    PoolArena arena;
+    constexpr std::size_t top = ~(~std::size_t{0} >> 1);
+    EXPECT_EQ(arena.sizeClass(top), top);          // exact power of two: fine
+    EXPECT_EQ(arena.sizeClass(top + 1), top + 1);  // above: exact size
+    EXPECT_EQ(arena.sizeClass(SIZE_MAX), SIZE_MAX);
+    EXPECT_EQ(arena.sizeClass(1000), 1024u);
+    EXPECT_EQ(arena.sizeClass(1024), 1024u);
+}
+
+TEST(PoolArena, ZeroByteAllocationIsValid) {
+    PoolArena arena;
+    EXPECT_EQ(arena.sizeClass(0), arena.sizeClass(1)); // min block class
+    void* p = arena.allocate(0);
+    ASSERT_NE(p, nullptr);
+    void* q = arena.allocate(0);
+    EXPECT_NE(p, q); // distinct live zero-byte blocks
+    arena.deallocate(p);
+    arena.deallocate(q);
+    EXPECT_EQ(arena.stats().bad_frees, 0u);
+    EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+}
+
+TEST(Arena, ForEachLiveEnumeratesHandedOutBlocks) {
+    PoolArena arena;
+    void* a = arena.allocate(100);
+    void* b = arena.allocate(5000);
+    std::size_t blocks = 0;
+    std::size_t bytes = 0;
+    arena.forEachLive([&](void*, std::size_t sz) {
+        ++blocks;
+        bytes += sz;
+    });
+    EXPECT_EQ(blocks, 2u);
+    EXPECT_GE(bytes, 5100u); // size-class rounded
+    arena.deallocate(a);
+    arena.deallocate(b);
+    blocks = 0;
+    arena.forEachLive([&](void*, std::size_t) { ++blocks; });
+    EXPECT_EQ(blocks, 0u);
+}
+
+TEST(TheArena, DefaultFollowsEnvironmentAndSwappable) {
+    // The unset default is whatever EXA_ARENA selects (the pool arena when
+    // the variable is absent) — the debug-backend suite runs this same
+    // test with EXA_ARENA=guard.
+    Arena* saved = The_Arena();
     setTheArena(nullptr);
-    EXPECT_EQ(The_Arena(), &thePoolArena());
+    EXPECT_EQ(The_Arena(), defaultArena());
     setTheArena(&theMallocArena());
     EXPECT_EQ(The_Arena(), &theMallocArena());
     setTheArena(&thePoolArena());
     EXPECT_EQ(The_Arena(), &thePoolArena());
+    setTheArena(saved);
 }

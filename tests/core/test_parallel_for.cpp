@@ -1,3 +1,4 @@
+#include "core/arena.hpp"
 #include "core/array4.hpp"
 #include "core/parallel_for.hpp"
 
@@ -27,16 +28,22 @@ TEST(ParallelFor, BackendsBitIdentical) {
     auto serial = run_fill(Backend::Serial);
     auto omp = run_fill(Backend::OpenMP);
     auto gpu = run_fill(Backend::SimGpu);
+    auto dbg = run_fill(Backend::Debug);
     EXPECT_EQ(serial, omp);
     EXPECT_EQ(serial, gpu);
+    EXPECT_EQ(serial, dbg);
 }
 
 TEST(ParallelFor, VisitsEveryZoneExactlyOnce) {
+    // Arena-backed so the count survives Backend::Debug's replay passes
+    // (the checker snapshots and restores arena-resident state only).
     Box b({-2, 0, 3}, {4, 5, 6});
-    std::vector<int> count(b.numPts(), 0);
-    Array4<int> a(count.data(), b, 1);
+    int* count = static_cast<int*>(The_Arena()->allocate(sizeof(int) * b.numPts()));
+    std::fill(count, count + b.numPts(), 0);
+    Array4<int> a(count, b, 1);
     ParallelFor(b, [=](int i, int j, int k) { a(i, j, k) += 1; });
-    for (int c : count) EXPECT_EQ(c, 1);
+    for (std::int64_t idx = 0; idx < b.numPts(); ++idx) EXPECT_EQ(count[idx], 1);
+    The_Arena()->deallocate(count);
 }
 
 TEST(ParallelFor, ComponentVariantCoversAllComponents) {

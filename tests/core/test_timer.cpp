@@ -1,0 +1,85 @@
+// Regression tests for the TimerRegistry data race: concurrent TimerRegion
+// scopes from many threads used to corrupt the entry map (std::map is not
+// safe for concurrent insertion). With the registry mutex, counts and
+// accumulated seconds are exact.
+
+#include "core/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace exa;
+
+TEST(TimerRegistry, AccumulatesSecondsAndCalls) {
+    auto& reg = TimerRegistry::instance();
+    reg.reset();
+    reg.add("hydro", 1.5);
+    reg.add("hydro", 2.5);
+    reg.add("burn", 0.25);
+    EXPECT_DOUBLE_EQ(reg.seconds("hydro"), 4.0);
+    EXPECT_EQ(reg.calls("hydro"), 2u);
+    EXPECT_EQ(reg.calls("burn"), 1u);
+    EXPECT_DOUBLE_EQ(reg.seconds("absent"), 0.0);
+    EXPECT_EQ(reg.calls("absent"), 0u);
+    reg.reset();
+    EXPECT_EQ(reg.calls("hydro"), 0u);
+}
+
+TEST(TimerRegistry, ConcurrentAddsAreExact) {
+    auto& reg = TimerRegistry::instance();
+    reg.reset();
+    constexpr int nthreads = 8;
+    constexpr int adds_per_thread = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (int t = 0; t < nthreads; ++t) {
+        threads.emplace_back([t] {
+            auto& r = TimerRegistry::instance();
+            for (int n = 0; n < adds_per_thread; ++n) {
+                r.add("shared", 0.001);
+                // Distinct names force concurrent map insertion, the
+                // crash-prone path before the mutex.
+                r.add("thread_" + std::to_string(t), 0.002);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(reg.calls("shared"),
+              static_cast<std::uint64_t>(nthreads) * adds_per_thread);
+    EXPECT_NEAR(reg.seconds("shared"), nthreads * adds_per_thread * 0.001, 1e-6);
+    for (int t = 0; t < nthreads; ++t) {
+        EXPECT_EQ(reg.calls("thread_" + std::to_string(t)),
+                  static_cast<std::uint64_t>(adds_per_thread));
+    }
+    reg.reset();
+}
+
+TEST(TimerRegistry, ConcurrentRegionsAndReads) {
+    auto& reg = TimerRegistry::instance();
+    reg.reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([] {
+            for (int n = 0; n < 500; ++n) {
+                TimerRegion region("region");
+                (void)TimerRegistry::instance().seconds("region"); // reader
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(reg.calls("region"), 2000u);
+    EXPECT_GE(reg.seconds("region"), 0.0);
+    reg.reset();
+}
+
+TEST(TimerRegistry, ReportMentionsEntries) {
+    auto& reg = TimerRegistry::instance();
+    reg.reset();
+    reg.add("multigrid", 3.0);
+    const std::string rep = reg.report();
+    EXPECT_NE(rep.find("multigrid"), std::string::npos);
+    reg.reset();
+}

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 using namespace exa;
 
@@ -202,4 +204,20 @@ TEST(MFIter, RoundRobinsStreams) {
     EXPECT_EQ(seen[0], 0);
     EXPECT_EQ(seen[1], 1);
     EXPECT_EQ(seen[4], 0);
+}
+
+TEST(MultiFab, EmptyMinMaxAreReductionIdentities) {
+    // Regression: min()/max() used to start from +/-1e300 sentinels, so an
+    // empty MultiFab reduced to a large-but-finite garbage value that could
+    // silently win a fold against real data. The identities are +/-inf.
+    MultiFab empty;
+    const Real inf = std::numeric_limits<Real>::infinity();
+    EXPECT_EQ(empty.min(0), inf);
+    EXPECT_EQ(empty.max(0), -inf);
+    EXPECT_EQ(empty.sum(0), 0.0);
+    EXPECT_EQ(empty.norminf(0), 0.0);
+    // Folding an empty MultiFab into a populated reduction is a no-op.
+    MultiFab mf = makeFilled(8, 8, 1, 0);
+    EXPECT_EQ(std::max(mf.max(0), empty.max(0)), mf.max(0));
+    EXPECT_EQ(std::min(mf.min(0), empty.min(0)), mf.min(0));
 }

@@ -1,0 +1,24 @@
+// gtest main for the `debug-backend` ctest label: reruns an existing test
+// suite with the verification stack engaged — Backend::Debug for every
+// ParallelFor and the canary GuardArena behind The_Arena(). Any contract
+// or allocator violation aborts the binary (debug::abortOnViolation() is
+// on by default), so a green run certifies zero violations.
+
+#include "core/arena.hpp"
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    // Environment first, so code that re-resolves defaults (e.g.
+    // The_Arena() after setTheArena(nullptr)) lands back on the
+    // debug configuration rather than the production one.
+    setenv("EXA_BACKEND", "debug", 1);
+    setenv("EXA_ARENA", "guard", 1);
+    exa::ExecConfig::setBackend(exa::Backend::Debug);
+    exa::setTheArena(&exa::theGuardArena());
+    return RUN_ALL_TESTS();
+}
