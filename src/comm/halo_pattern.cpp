@@ -1,6 +1,9 @@
 #include "comm/halo_pattern.hpp"
 
+#include "mesh/copier_cache.hpp"
+
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <vector>
 
@@ -44,50 +47,33 @@ int regularBoxRank(const RegularDecomposition& d, int ix, int iy, int iz, int nr
 }
 
 void buildHaloPattern(const RegularDecomposition& d, int nranks, CommLedger& ledger) {
-    const auto rank = rankTable(d, nranks);
-    auto boxid = [&](int x, int y, int z) {
-        return x + static_cast<std::int64_t>(d.nbx) * (y + static_cast<std::int64_t>(d.nby) * z);
-    };
-    auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
-
-    const int ext[3] = {d.bx, d.by, d.bz};
-    for (int z = 0; z < d.nbz; ++z) {
-        for (int y = 0; y < d.nby; ++y) {
-            for (int x = 0; x < d.nbx; ++x) {
-                const int dst = rank[boxid(x, y, z)];
-                for (int dz = -1; dz <= 1; ++dz) {
-                    for (int dy = -1; dy <= 1; ++dy) {
-                        for (int dx = -1; dx <= 1; ++dx) {
-                            if (dx == 0 && dy == 0 && dz == 0) continue;
-                            int nx = x + dx, ny = y + dy, nz = z + dz;
-                            if (!d.periodic &&
-                                (nx < 0 || nx >= d.nbx || ny < 0 || ny >= d.nby ||
-                                 nz < 0 || nz >= d.nbz)) {
-                                continue;
-                            }
-                            nx = wrap(nx, d.nbx);
-                            ny = wrap(ny, d.nby);
-                            nz = wrap(nz, d.nbz);
-                            const int src = rank[boxid(nx, ny, nz)];
-                            if (src == dst) continue;
-                            // Halo volume: ngrow in each offset dimension,
-                            // full extent in the others.
-                            const int off[3] = {dx, dy, dz};
-                            std::int64_t zones = 1;
-                            for (int dim = 0; dim < 3; ++dim) {
-                                zones *= (off[dim] == 0)
-                                             ? ext[dim]
-                                             : std::min(d.ngrow, ext[dim]);
-                            }
-                            ledger.record({src, dst,
-                                           zones * d.ncomp *
-                                               static_cast<std::int64_t>(sizeof(double)),
-                                           "fillboundary"});
-                        }
-                    }
-                }
-            }
-        }
+    // Geometric plan from the shared copier machinery (hash-indexed box
+    // intersections), with ranks assigned from the Morton chunk table so
+    // the pattern matches what a real Sfc DistributionMapping produces.
+    const auto table = rankTable(d, nranks);
+    const BoxArray ba = makeBoxArray(d);
+    assert(static_cast<std::int64_t>(ba.size()) == d.numBoxes());
+    std::vector<int> ranks(ba.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        // maxSize may emit boxes in any order; map each box back to its
+        // lattice cell to look up its rank.
+        const Box& b = ba[static_cast<int>(i)];
+        const std::int64_t ix = b.smallEnd(0) / d.bx;
+        const std::int64_t iy = b.smallEnd(1) / d.by;
+        const std::int64_t iz = b.smallEnd(2) / d.bz;
+        ranks[i] = table[ix + d.nbx * (iy + static_cast<std::int64_t>(d.nby) * iz)];
+    }
+    const Periodicity per = d.periodic
+                                ? Periodicity(IntVect{d.nbx * d.bx, d.nby * d.by,
+                                                      d.nbz * d.bz})
+                                : Periodicity::nonPeriodic();
+    const auto plan = CopierCache::buildFillBoundary(ba, ranks, d.ngrow, per);
+    for (const CopyItem& item : plan->items) {
+        if (item.local()) continue;
+        ledger.record({item.src_rank, item.dst_rank,
+                       item.src_box.numPts() * d.ncomp *
+                           static_cast<std::int64_t>(sizeof(double)),
+                       "fillboundary"});
     }
 }
 

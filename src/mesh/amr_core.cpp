@@ -44,7 +44,11 @@ BoxArray AmrCore::makeFineBoxes(int lev) {
             auto t = tags.const_array(static_cast<int>(i));
             auto b = buf.array(static_cast<int>(i));
             const int nb = m_info.n_error_buf;
-            ParallelFor(tags.box(static_cast<int>(i)), [=](int ii, int j, int k) {
+            // Writes are idempotent (every touched zone gets 1.0), so the
+            // neighborhood stores stay order-independent under the Debug
+            // backend's replay checks.
+            ParallelFor(KernelInfo::streaming("amr_tag_buffer", 16.0),
+                        tags.box(static_cast<int>(i)), [=](int ii, int j, int k) {
                 if (t(ii, j, k) != 0.0) {
                     for (int dk = -nb; dk <= nb; ++dk)
                         for (int dj = -nb; dj <= nb; ++dj)
@@ -61,7 +65,8 @@ BoxArray AmrCore::makeFineBoxes(int lev) {
         for (std::size_t i = 0; i < tags.size(); ++i) {
             auto t = tags.array(static_cast<int>(i));
             auto b = buf.const_array(static_cast<int>(i));
-            ParallelFor(tags.box(static_cast<int>(i)), [=](int ii, int j, int k) {
+            ParallelFor(KernelInfo::streaming("amr_tag_merge", 16.0),
+                        tags.box(static_cast<int>(i)), [=](int ii, int j, int k) {
                 if (b(ii, j, k) != 0.0) t(ii, j, k) = 1.0;
             });
         }

@@ -3,6 +3,7 @@
 #include "core/box.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace exa {
@@ -12,11 +13,18 @@ namespace exa {
 // distribution: an MPI rank owns whole boxes, and a GPU kernel is launched
 // per box. The paper's load-balancing discussion (6 ranks/node not
 // dividing 64 boxes) is entirely about this object.
+//
+// Queries (intersections / intersects / contains / isDisjoint) run against
+// a lazily built spatial hash: boxes binned into a lattice coarsened by the
+// largest box extent per dimension, so a query touches O(1) bins instead of
+// scanning all N boxes. The index is shared by copies and rebuilt after any
+// mutation.
 class BoxArray {
 public:
     BoxArray() = default;
-    explicit BoxArray(const Box& single) : m_boxes{single} {}
-    explicit BoxArray(std::vector<Box> boxes) : m_boxes(std::move(boxes)) {}
+    explicit BoxArray(const Box& single) : m_boxes{single}, m_id(nextId()) {}
+    explicit BoxArray(std::vector<Box> boxes)
+        : m_boxes(std::move(boxes)), m_id(nextId()) {}
 
     // Chop every box so that no side exceeds max_size zones.
     BoxArray& maxSize(const IntVect& max_size);
@@ -35,11 +43,13 @@ public:
     BoxArray& refine(int ratio);
     BoxArray& coarsen(int ratio);
 
-    // True if bx is entirely covered by the union of our boxes.
+    // True if bx is entirely covered by the union of our boxes (correct
+    // whether or not the boxes overlap).
     bool contains(const Box& bx) const;
     bool intersects(const Box& bx) const;
 
-    // All (box index, intersection) pairs overlapping bx.
+    // All (box index, intersection) pairs overlapping bx, ordered by box
+    // index (the same order as a linear scan).
     std::vector<std::pair<int, Box>> intersections(const Box& bx) const;
 
     // True if the boxes are pairwise disjoint (a well-formed level).
@@ -48,10 +58,27 @@ public:
     // Union with another array (no disjointness enforcement).
     void join(const BoxArray& other);
 
-    bool operator==(const BoxArray&) const = default;
+    // Stable identity for communication-metadata caching (CopierCache).
+    // Copies share the id; every mutation (maxSize, refine, coarsen, join)
+    // assigns a fresh process-unique id. Equal ids therefore imply equal
+    // boxes — never the converse — so id equality is a safe cache key and
+    // a regrid invalidates cached plans simply by minting new ids. A
+    // default-constructed (empty) array has id 0.
+    std::uint64_t id() const { return m_id; }
+
+    bool operator==(const BoxArray& o) const {
+        return m_id == o.m_id || m_boxes == o.m_boxes;
+    }
 
 private:
+    struct HashIndex;
+    const HashIndex& index() const; // build lazily
+    static std::uint64_t nextId();
+    void mutated(); // new id + drop the spatial index
+
     std::vector<Box> m_boxes;
+    std::uint64_t m_id = 0;
+    mutable std::shared_ptr<const HashIndex> m_index;
 };
 
 } // namespace exa

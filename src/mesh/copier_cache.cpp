@@ -1,0 +1,264 @@
+#include "mesh/copier_cache.hpp"
+
+#include "core/timer.hpp"
+
+#include <cassert>
+
+namespace exa {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+IntVect periodVect(const Periodicity& p) {
+    return {p.period(0), p.period(1), p.period(2)};
+}
+
+} // namespace
+
+std::size_t CopierKeyHash::operator()(const CopierKey& k) const {
+    std::uint64_t h = mix64(k.dst_ba);
+    h = mix64(h ^ k.src_ba);
+    h = mix64(h ^ k.dst_dm);
+    h = mix64(h ^ k.src_dm);
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.ng)) |
+                   (static_cast<std::uint64_t>(static_cast<int>(k.kind)) << 32)));
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.period.x)) |
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.period.y))
+                    << 32)));
+    h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.period.z)));
+    return static_cast<std::size_t>(h);
+}
+
+CopierCache& CopierCache::instance() {
+    static CopierCache cache;
+    return cache;
+}
+
+// --- builders (the cold path) -------------------------------------------
+//
+// Each builder preserves the exact item order of the legacy rescanning
+// loops — destination fab outermost, then periodic shift, then ascending
+// source fab — so plan execution is bit-identical to the pre-cache code
+// even where copies overlap.
+
+CopierCache::PlanPtr CopierCache::buildFillBoundary(const BoxArray& ba,
+                                                    const std::vector<int>& ranks,
+                                                    int ng,
+                                                    const Periodicity& period) {
+    auto plan = std::make_shared<CopyPlan>();
+    const auto shifts = period.shifts();
+    const int n = static_cast<int>(ba.size());
+    for (int i = 0; i < n; ++i) {
+        const Box dst_region = grow(ba[i], ng);
+        for (const IntVect& s : shifts) {
+            for (const auto& [j, src_box] : ba.intersections(shift(dst_region, -s))) {
+                if (j == i && s == IntVect::zero()) continue;
+                CopyItem item;
+                item.dst_fab = i;
+                item.src_fab = j;
+                item.src_box = src_box;
+                item.dst_box = shift(src_box, s);
+                item.dst_rank = ranks.empty() ? 0 : ranks[i];
+                item.src_rank = ranks.empty() ? 0 : ranks[j];
+                plan->zones += src_box.numPts();
+                if (!item.local()) plan->offrank_zones += src_box.numPts();
+                plan->items.push_back(item);
+            }
+        }
+    }
+    return plan;
+}
+
+CopierCache::PlanPtr CopierCache::buildParallelCopy(
+    const BoxArray& dst_ba, const std::vector<int>& dst_ranks, const BoxArray& src_ba,
+    const std::vector<int>& src_ranks, int dst_ng, const Periodicity& period) {
+    auto plan = std::make_shared<CopyPlan>();
+    const auto shifts = period.shifts();
+    const int n = static_cast<int>(dst_ba.size());
+    for (int i = 0; i < n; ++i) {
+        const Box dst_region = grow(dst_ba[i], dst_ng);
+        for (const IntVect& s : shifts) {
+            for (const auto& [j, src_box] :
+                 src_ba.intersections(shift(dst_region, -s))) {
+                CopyItem item;
+                item.dst_fab = i;
+                item.src_fab = j;
+                item.src_box = src_box;
+                item.dst_box = shift(src_box, s);
+                item.dst_rank = dst_ranks.empty() ? 0 : dst_ranks[i];
+                item.src_rank = src_ranks.empty() ? 0 : src_ranks[j];
+                plan->zones += src_box.numPts();
+                if (!item.local()) plan->offrank_zones += src_box.numPts();
+                plan->items.push_back(item);
+            }
+        }
+    }
+    return plan;
+}
+
+CopierCache::PlanPtr CopierCache::buildAverageDown(const BoxArray& crse_ba,
+                                                   const BoxArray& fine_ba,
+                                                   int ratio) {
+    auto plan = std::make_shared<CopyPlan>();
+    BoxArray cfba = fine_ba;
+    cfba.coarsen(ratio);
+    const int n = static_cast<int>(crse_ba.size());
+    for (int ci = 0; ci < n; ++ci) {
+        for (const auto& [fi, under] : cfba.intersections(crse_ba[ci])) {
+            CopyItem item;
+            item.dst_fab = ci;
+            item.src_fab = fi;
+            item.dst_box = under;
+            item.src_box = under;
+            plan->zones += under.numPts();
+            plan->items.push_back(item);
+        }
+    }
+    return plan;
+}
+
+// --- memoized front ends -------------------------------------------------
+
+CopierCache::PlanPtr CopierCache::fillBoundary(const BoxArray& ba,
+                                               const DistributionMapping& dm, int ng,
+                                               const Periodicity& period) {
+    assert(ba.size() == dm.size());
+    CopierKey key;
+    key.dst_ba = key.src_ba = ba.id();
+    key.dst_dm = key.src_dm = dm.id();
+    key.ng = ng;
+    key.period = periodVect(period);
+    key.kind = CopierKind::FillBoundary;
+    const bool cacheable = ba.id() != 0 && dm.id() != 0;
+    return getOrBuild(key, cacheable, [&]() {
+        return buildFillBoundary(ba, dm.ranks(), ng, period);
+    });
+}
+
+CopierCache::PlanPtr CopierCache::parallelCopy(const BoxArray& dst_ba,
+                                               const DistributionMapping& dst_dm,
+                                               const BoxArray& src_ba,
+                                               const DistributionMapping& src_dm,
+                                               int dst_ng, const Periodicity& period) {
+    CopierKey key;
+    key.dst_ba = dst_ba.id();
+    key.src_ba = src_ba.id();
+    key.dst_dm = dst_dm.id();
+    key.src_dm = src_dm.id();
+    key.ng = dst_ng;
+    key.period = periodVect(period);
+    key.kind = CopierKind::ParallelCopy;
+    const bool cacheable = dst_ba.id() != 0 && src_ba.id() != 0 &&
+                           dst_dm.id() != 0 && src_dm.id() != 0;
+    return getOrBuild(key, cacheable, [&]() {
+        return buildParallelCopy(dst_ba, dst_dm.ranks(), src_ba, src_dm.ranks(),
+                                 dst_ng, period);
+    });
+}
+
+CopierCache::PlanPtr CopierCache::averageDown(const BoxArray& crse_ba,
+                                              const BoxArray& fine_ba, int ratio) {
+    CopierKey key;
+    key.dst_ba = crse_ba.id();
+    key.src_ba = fine_ba.id();
+    key.ng = ratio;
+    key.kind = CopierKind::AverageDown;
+    const bool cacheable = crse_ba.id() != 0 && fine_ba.id() != 0;
+    return getOrBuild(key, cacheable, [&]() {
+        return buildAverageDown(crse_ba, fine_ba, ratio);
+    });
+}
+
+CopierCache::PlanPtr CopierCache::getOrBuild(const CopierKey& key, bool cacheable,
+                                             const std::function<PlanPtr()>& build) {
+    {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        if (m_enabled && cacheable) {
+            auto it = m_map.find(key);
+            if (it != m_map.end()) {
+                ++m_hits;
+                m_lru.splice(m_lru.begin(), m_lru, it->second);
+                return it->second->plan;
+            }
+        }
+        ++m_misses;
+    }
+    // Build outside the lock: plan construction is the expensive part and
+    // must not serialize against concurrent lookups.
+    WallTimer t;
+    PlanPtr plan = build();
+    const double dt = t.seconds();
+    {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        m_build_seconds += dt;
+        if (m_enabled && cacheable && m_capacity > 0) {
+            if (m_map.find(key) == m_map.end()) {
+                m_lru.push_front({key, plan});
+                m_map[key] = m_lru.begin();
+                while (m_map.size() > m_capacity) {
+                    m_map.erase(m_lru.back().key);
+                    m_lru.pop_back();
+                    ++m_evictions;
+                }
+            }
+        }
+    }
+    return plan;
+}
+
+CopierCache::Stats CopierCache::stats() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    Stats s;
+    s.hits = m_hits;
+    s.misses = m_misses;
+    s.evictions = m_evictions;
+    s.plans = m_map.size();
+    s.build_seconds = m_build_seconds;
+    return s;
+}
+
+void CopierCache::resetStats() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_hits = m_misses = m_evictions = 0;
+    m_build_seconds = 0.0;
+}
+
+void CopierCache::clear() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_map.clear();
+    m_lru.clear();
+}
+
+std::size_t CopierCache::capacity() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_capacity;
+}
+
+void CopierCache::setCapacity(std::size_t n) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_capacity = n;
+    while (m_map.size() > m_capacity) {
+        m_map.erase(m_lru.back().key);
+        m_lru.pop_back();
+        ++m_evictions;
+    }
+}
+
+void CopierCache::setEnabled(bool enabled) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_enabled = enabled;
+}
+
+bool CopierCache::enabled() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_enabled;
+}
+
+} // namespace exa

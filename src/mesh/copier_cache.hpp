@@ -1,0 +1,137 @@
+#pragma once
+
+#include "mesh/box_array.hpp"
+#include "mesh/distribution.hpp"
+#include "mesh/geometry.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace exa {
+
+// Cached communication metadata, mirroring AMReX's FabArrayBase::FB / CPC
+// copier caches. Every FillBoundary / ParallelCopy / averageDown used to
+// recompute its box-box intersections from scratch on each call — an
+// O(nfabs^2 x shifts) host-side scan repeated every timestep, exactly the
+// per-step CPU overhead the paper's GPU-resident architecture cannot
+// afford. A CopyPlan memoizes the full intersection set once per
+// (BoxArray id, DistributionMapping id, ngrow, periodicity) and is then
+// replayed for the cost of a hash lookup.
+
+// One box-to-box copy of a plan. src_box and dst_box have the same shape;
+// they differ by the periodic shift that produced the intersection.
+struct CopyItem {
+    int dst_fab = 0;
+    int src_fab = 0;
+    Box dst_box; // region written in the destination fab
+    Box src_box; // same-shape region read from the source fab
+    int dst_rank = 0;
+    int src_rank = 0;
+    bool local() const { return src_rank == dst_rank; }
+};
+
+// A full copy plan. Component-independent: an item moves
+// numPts * ncomp * sizeof(Real) bytes with ncomp supplied at execution
+// time, so one plan serves every MultiFab pair on the same layout.
+struct CopyPlan {
+    std::vector<CopyItem> items;
+    std::int64_t zones = 0;         // total zones moved per execution
+    std::int64_t offrank_zones = 0; // zones crossing simulated ranks
+};
+
+enum class CopierKind : int { FillBoundary = 0, ParallelCopy = 1, AverageDown = 2 };
+
+struct CopierKey {
+    std::uint64_t dst_ba = 0;
+    std::uint64_t src_ba = 0;
+    std::uint64_t dst_dm = 0;
+    std::uint64_t src_dm = 0;
+    int ng = 0; // ghost width (coarsening ratio for AverageDown)
+    IntVect period{0, 0, 0};
+    CopierKind kind = CopierKind::FillBoundary;
+    bool operator==(const CopierKey&) const = default;
+};
+
+struct CopierKeyHash {
+    std::size_t operator()(const CopierKey& k) const;
+};
+
+// Process-wide LRU-bounded plan cache. Invalidation is by identity: a
+// regrid builds new BoxArrays / DistributionMappings, which carry fresh
+// ids, so stale plans are simply never looked up again and age out of the
+// LRU. Plans are immutable shared_ptrs: a plan stays valid while a caller
+// executes it even if it is concurrently evicted.
+class CopierCache {
+public:
+    using PlanPtr = std::shared_ptr<const CopyPlan>;
+
+    static CopierCache& instance();
+
+    // Memoized plan for MultiFab::FillBoundary on (ba, dm, ng, period).
+    PlanPtr fillBoundary(const BoxArray& ba, const DistributionMapping& dm, int ng,
+                         const Periodicity& period);
+    // Memoized plan for dst.ParallelCopy(src, ..., dst_ng, period).
+    PlanPtr parallelCopy(const BoxArray& dst_ba, const DistributionMapping& dst_dm,
+                         const BoxArray& src_ba, const DistributionMapping& src_dm,
+                         int dst_ng, const Periodicity& period);
+    // Memoized (crse fab, fine fab, coarse region under fine) triples for
+    // averageDown; dst_box == src_box == the coarsened under-region.
+    PlanPtr averageDown(const BoxArray& crse_ba, const BoxArray& fine_ba, int ratio);
+
+    // Uncached builders (the cold path; public so tests and benches can
+    // time a fresh pattern build or bypass memoization).
+    static PlanPtr buildFillBoundary(const BoxArray& ba, const std::vector<int>& ranks,
+                                     int ng, const Periodicity& period);
+    static PlanPtr buildParallelCopy(const BoxArray& dst_ba,
+                                     const std::vector<int>& dst_ranks,
+                                     const BoxArray& src_ba,
+                                     const std::vector<int>& src_ranks, int dst_ng,
+                                     const Periodicity& period);
+    static PlanPtr buildAverageDown(const BoxArray& crse_ba, const BoxArray& fine_ba,
+                                    int ratio);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t plans = 0;       // currently resident
+        double build_seconds = 0.0;  // cumulative cold plan-build time
+    };
+    Stats stats() const;
+    void resetStats();
+    void clear(); // drop every plan (stats survive)
+
+    std::size_t capacity() const;
+    void setCapacity(std::size_t n);
+
+    // Memoization toggle: when disabled every call rebuilds its plan (the
+    // same plan-based execution path, just never cached) — used by tests
+    // to compare cached vs uncached behavior.
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+private:
+    CopierCache() = default;
+    PlanPtr getOrBuild(const CopierKey& key, bool cacheable,
+                       const std::function<PlanPtr()>& build);
+
+    struct Entry {
+        CopierKey key;
+        PlanPtr plan;
+    };
+
+    mutable std::mutex m_mutex;
+    std::list<Entry> m_lru; // front = most recently used
+    std::unordered_map<CopierKey, std::list<Entry>::iterator, CopierKeyHash> m_map;
+    std::uint64_t m_hits = 0, m_misses = 0, m_evictions = 0;
+    double m_build_seconds = 0.0;
+    std::size_t m_capacity = 128;
+    bool m_enabled = true;
+};
+
+} // namespace exa

@@ -1,10 +1,18 @@
 #include "mesh/distribution.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <queue>
 
 namespace exa {
+
+namespace {
+std::uint64_t nextDmId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+} // namespace
 
 std::uint64_t mortonCode(int x, int y, int z) {
     auto split = [](std::uint64_t v) {
@@ -24,7 +32,7 @@ std::uint64_t mortonCode(int x, int y, int z) {
 
 DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
                                          Strategy strategy)
-    : m_nranks(std::max(1, nranks)) {
+    : m_nranks(std::max(1, nranks)), m_id(nextDmId()) {
     const std::size_t n = ba.size();
     m_rank.assign(n, 0);
     if (n == 0) return;

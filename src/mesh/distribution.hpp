@@ -26,6 +26,12 @@ public:
     int numRanks() const { return m_nranks; }
     const std::vector<int>& ranks() const { return m_rank; }
 
+    // Stable identity for communication-metadata caching (CopierCache),
+    // mirroring BoxArray::id(): copies share the id, every freshly built
+    // mapping gets a new one, so equal ids imply an identical rank table.
+    // A default-constructed mapping has id 0.
+    std::uint64_t id() const { return m_id; }
+
     // Number of boxes owned by each rank.
     std::vector<int> boxesPerRank() const;
     // Zones owned by each rank (load-balance diagnostic).
@@ -36,11 +42,14 @@ public:
     // boxes" load-balancing discussion.
     static double imbalance(const BoxArray& ba, const DistributionMapping& dm);
 
-    bool operator==(const DistributionMapping&) const = default;
+    bool operator==(const DistributionMapping& o) const {
+        return m_id == o.m_id || (m_nranks == o.m_nranks && m_rank == o.m_rank);
+    }
 
 private:
     std::vector<int> m_rank;
     int m_nranks = 1;
+    std::uint64_t m_id = 0;
 };
 
 // Morton (Z-order) code of a non-negative 3-D index, for SFC ordering.

@@ -1,6 +1,7 @@
 #include "mesh/interp.hpp"
 
 #include "core/parallel_for.hpp"
+#include "mesh/copier_cache.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -23,7 +24,8 @@ EXA_FORCE_INLINE Real limited_slope(Array4<const Real> c, int i, int j, int k, i
 
 void pcInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region,
               int ratio, int scomp, int dcomp, int ncomp) {
-    ParallelFor(fine_region, ncomp, [=](int i, int j, int k, int n) {
+    ParallelFor(KernelInfo::streaming("interp_pc", 16.0 * ncomp), fine_region, ncomp,
+                [=](int i, int j, int k, int n) {
         fine(i, j, k, dcomp + n) = crse(coarsen_index(i, ratio), coarsen_index(j, ratio),
                                         coarsen_index(k, ratio), scomp + n);
     });
@@ -32,7 +34,9 @@ void pcInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region
 void conslinInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region,
                    int ratio, int scomp, int dcomp, int ncomp) {
     const Real r = static_cast<Real>(ratio);
-    ParallelFor(fine_region, ncomp, [=](int i, int j, int k, int n) {
+    // 7-point coarse stencil read + 1 fine write per zone.
+    ParallelFor(KernelInfo::streaming("interp_conslin", 64.0 * ncomp), fine_region,
+                ncomp, [=](int i, int j, int k, int n) {
         const int ic = coarsen_index(i, ratio);
         const int jc = coarsen_index(j, ratio);
         const int kc = coarsen_index(k, ratio);
@@ -51,24 +55,24 @@ void conslinInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_r
 void averageDown(MultiFab& crse, const MultiFab& fine, int ratio, int scomp,
                  int dcomp, int ncomp) {
     const Real inv = 1.0_rt / (static_cast<Real>(ratio) * ratio * ratio);
-    for (std::size_t ci = 0; ci < crse.size(); ++ci) {
-        auto c = crse.array(static_cast<int>(ci));
-        // The portion of this coarse box lying under any fine box.
-        for (std::size_t fi = 0; fi < fine.size(); ++fi) {
-            const Box under =
-                crse.box(static_cast<int>(ci)) & coarsen(fine.box(static_cast<int>(fi)), ratio);
-            if (!under.ok()) continue;
-            auto f = fine.const_array(static_cast<int>(fi));
-            ParallelFor(under, ncomp, [=](int i, int j, int k, int n) {
-                Real s = 0;
-                for (int kk = 0; kk < ratio; ++kk)
-                    for (int jj = 0; jj < ratio; ++jj)
-                        for (int ii = 0; ii < ratio; ++ii)
-                            s += f(i * ratio + ii, j * ratio + jj, k * ratio + kk,
-                                   scomp + n);
-                c(i, j, k, dcomp + n) = s * inv;
-            });
-        }
+    // The (coarse fab, fine fab, under-region) triples are layout metadata,
+    // memoized in the CopierCache across repeated level syncs.
+    const auto plan = CopierCache::instance().averageDown(crse.boxArray(),
+                                                          fine.boxArray(), ratio);
+    const KernelInfo info =
+        KernelInfo::streaming("avg_down", (ratio * ratio * ratio + 1) * 8.0 * ncomp);
+    for (const CopyItem& item : plan->items) {
+        auto c = crse.array(item.dst_fab);
+        auto f = fine.const_array(item.src_fab);
+        ParallelFor(info, item.dst_box, ncomp, [=](int i, int j, int k, int n) {
+            Real s = 0;
+            for (int kk = 0; kk < ratio; ++kk)
+                for (int jj = 0; jj < ratio; ++jj)
+                    for (int ii = 0; ii < ratio; ++ii)
+                        s += f(i * ratio + ii, j * ratio + jj, k * ratio + kk,
+                               scomp + n);
+            c(i, j, k, dcomp + n) = s * inv;
+        });
     }
 }
 
@@ -92,12 +96,14 @@ void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
         // valid data.
         const auto shifts = crse_geom.periodicity().shifts();
         for (const IntVect& s : shifts) {
-            for (std::size_t j = 0; j < crse_src.size(); ++j) {
-                const Box image = shift(crse_src.box(static_cast<int>(j)), s);
-                const Box isect = cbox & image;
-                if (!isect.ok()) continue;
-                ctmp.copyFrom(crse_src.fab(static_cast<int>(j)), shift(isect, -s), scomp,
-                              isect, 0, ncomp);
+            // src_box = crse_ba[j] & shift(cbox, -s) equals the legacy
+            // shift(cbox & image, -s), and the hashed query returns
+            // ascending j, so the gather order (and hence any overlap
+            // resolution) is unchanged.
+            for (const auto& [j, src_box] :
+                 crse_src.boxArray().intersections(shift(cbox, -s))) {
+                ctmp.copyFrom(crse_src.fab(j), src_box, scomp, shift(src_box, s), 0,
+                              ncomp);
             }
         }
         conslinInterp(dst.array(static_cast<int>(i)), ctmp.const_array(), fdst, ratio, 0,

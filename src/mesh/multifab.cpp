@@ -3,6 +3,7 @@
 #include "core/executor.hpp"
 #include "core/parallel_for.hpp"
 #include "mesh/comm_hooks.hpp"
+#include "mesh/copier_cache.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -10,6 +11,27 @@
 #include <limits>
 
 namespace exa {
+
+namespace {
+
+// Round-robin the simulated CUDA stream over fabs — the same policy as
+// MFIter::syncStream — so the device model can overlap the per-box kernels
+// of MultiFab-wide ops. Restores stream 0 on scope exit.
+class FabStreams {
+public:
+    FabStreams() : m_n(ExecConfig::numStreams()) {}
+    ~FabStreams() { ExecConfig::setCurrentStream(0); }
+    FabStreams(const FabStreams&) = delete;
+    FabStreams& operator=(const FabStreams&) = delete;
+    void use(std::size_t fab) const {
+        ExecConfig::setCurrentStream(static_cast<int>(fab % m_n));
+    }
+
+private:
+    std::size_t m_n;
+};
+
+} // namespace
 
 MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
                    int ngrow, Arena* arena) {
@@ -39,62 +61,52 @@ void MultiFab::clear() {
 }
 
 void MultiFab::setVal(Real v) {
-    for (auto& f : m_fabs) f.setVal(v);
+    FabStreams streams;
+    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        streams.use(i);
+        m_fabs[i].setVal(v);
+    }
 }
 
 void MultiFab::setVal(Real v, int comp, int ncomp, int ngrow) {
+    FabStreams streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        streams.use(i);
         m_fabs[i].setVal(v, grow(m_ba[i], ngrow), comp, ncomp);
     }
 }
 
-void MultiFab::FillBoundary(const Periodicity& period) {
-    const auto shifts = period.shifts();
+void MultiFab::copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp,
+                            int dcomp, int ncomp, const char* tag) {
     const bool account = CommHooks::active();
-    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        const Box dst_region = fabbox(static_cast<int>(i));
-        for (const IntVect& s : shifts) {
-            for (std::size_t j = 0; j < m_fabs.size(); ++j) {
-                if (i == j && s == IntVect::zero()) continue;
-                const Box src_image = shift(m_ba[j], s);
-                const Box isect = dst_region & src_image;
-                if (!isect.ok()) continue;
-                const Box src_box = shift(isect, -s);
-                m_fabs[i].copyFrom(m_fabs[j], src_box, 0, isect, 0, m_ncomp);
-                if (account && m_dm[j] != m_dm[i]) {
-                    CommHooks::notify({m_dm[j], m_dm[i],
-                                       static_cast<std::int64_t>(isect.numPts()) *
-                                           m_ncomp * static_cast<int>(sizeof(Real)),
-                                       "fillboundary"});
-                }
-            }
+    FabStreams streams;
+    for (const CopyItem& item : plan.items) {
+        streams.use(static_cast<std::size_t>(item.dst_fab));
+        m_fabs[item.dst_fab].copyFrom(src.m_fabs[item.src_fab], item.src_box, scomp,
+                                      item.dst_box, dcomp, ncomp);
+        if (account && !item.local()) {
+            CommHooks::notify({item.src_rank, item.dst_rank,
+                               item.src_box.numPts() * ncomp *
+                                   static_cast<int>(sizeof(Real)),
+                               tag});
         }
     }
+}
+
+void MultiFab::FillBoundary(const Periodicity& period) {
+    if (m_fabs.empty()) return;
+    const auto plan =
+        CopierCache::instance().fillBoundary(m_ba, m_dm, m_ngrow, period);
+    copyFromPlan(*plan, *this, 0, 0, m_ncomp, "fillboundary");
 }
 
 void MultiFab::ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
                             int dst_ng, const Periodicity& period) {
     assert(dst_ng <= m_ngrow);
-    const auto shifts = period.shifts();
-    const bool account = CommHooks::active();
-    for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        const Box dst_region = grow(m_ba[i], dst_ng);
-        for (const IntVect& s : shifts) {
-            for (std::size_t j = 0; j < src.size(); ++j) {
-                const Box src_image = shift(src.m_ba[j], s);
-                const Box isect = dst_region & src_image;
-                if (!isect.ok()) continue;
-                const Box src_box = shift(isect, -s);
-                m_fabs[i].copyFrom(src.m_fabs[j], src_box, scomp, isect, dcomp, ncomp);
-                if (account && src.m_dm[j] != m_dm[i]) {
-                    CommHooks::notify({src.m_dm[j], m_dm[i],
-                                       static_cast<std::int64_t>(isect.numPts()) *
-                                           ncomp * static_cast<int>(sizeof(Real)),
-                                       "parallelcopy"});
-                }
-            }
-        }
-    }
+    if (m_fabs.empty() || src.m_fabs.empty()) return;
+    const auto plan = CopierCache::instance().parallelCopy(
+        m_ba, m_dm, src.m_ba, src.m_dm, dst_ng, period);
+    copyFromPlan(*plan, src, scomp, dcomp, ncomp, "parallelcopy");
 }
 
 Real MultiFab::sum(int comp) const {
@@ -140,19 +152,25 @@ Real MultiFab::norm2(int comp) const {
 
 void MultiFab::saxpy(Real a, const MultiFab& x, int scomp, int dcomp, int ncomp) {
     assert(m_ba == x.m_ba);
+    FabStreams streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        streams.use(i);
         m_fabs[i].saxpy(a, x.m_fabs[i], m_ba[i], scomp, dcomp, ncomp);
     }
 }
 
 void MultiFab::plus(Real v, int comp, int ncomp) {
+    FabStreams streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        streams.use(i);
         m_fabs[i].plus(v, m_ba[i], comp, ncomp);
     }
 }
 
 void MultiFab::mult(Real v, int comp, int ncomp) {
+    FabStreams streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+        streams.use(i);
         m_fabs[i].mult(v, m_ba[i], comp, ncomp);
     }
 }
@@ -161,7 +179,9 @@ void MultiFab::Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
                     int ncomp, int ng) {
     assert(dst.m_ba == src.m_ba);
     assert(ng <= dst.nGrow() && ng <= src.nGrow());
+    FabStreams streams;
     for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
+        streams.use(i);
         const Box region = grow(dst.m_ba[i], ng);
         dst.m_fabs[i].copyFrom(src.m_fabs[i], region, scomp, region, dcomp, ncomp);
     }
@@ -170,11 +190,14 @@ void MultiFab::Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
 void MultiFab::LinComb(MultiFab& dst, Real a, const MultiFab& x, Real b,
                        const MultiFab& y, int comp, int ncomp) {
     assert(dst.m_ba == x.m_ba && dst.m_ba == y.m_ba);
+    FabStreams streams;
     for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
+        streams.use(i);
         auto d = dst.m_fabs[i].array();
         auto xa = x.m_fabs[i].const_array();
         auto ya = y.m_fabs[i].const_array();
-        ParallelFor(dst.m_ba[i], ncomp, [=](int ii, int j, int k, int n) {
+        ParallelFor(KernelInfo::streaming("mf_lincomb", 24.0 * ncomp), dst.m_ba[i],
+                    ncomp, [=](int ii, int j, int k, int n) {
             d(ii, j, k, comp + n) = a * xa(ii, j, k, comp + n) + b * ya(ii, j, k, comp + n);
         });
     }

@@ -10,6 +10,8 @@
 
 namespace exa {
 
+struct CopyPlan;
+
 // The central data structure of the framework: fluid state at one level of
 // refinement, distributed over the boxes of a BoxArray (each box owned by
 // one simulated rank per the DistributionMapping), with `ngrow` ghost
@@ -51,11 +53,15 @@ public:
     // Fill every ghost zone that overlaps the valid region of any fab in
     // this MultiFab, honoring periodic images. This is the halo exchange:
     // each box-to-box copy whose source and destination live on different
-    // ranks is reported to CommHooks as one message.
+    // ranks is reported to CommHooks as one message. The intersection set
+    // is memoized in the process-wide CopierCache, keyed on the BoxArray /
+    // DistributionMapping ids, so repeated exchanges on a stable layout
+    // skip the O(nfabs^2) pattern rescan.
     void FillBoundary(const Periodicity& period = Periodicity::nonPeriodic());
 
     // Copy component data from src (any BoxArray) wherever src valid
     // regions intersect our valid+dst_ng regions, with periodic images.
+    // The copy plan is memoized in the CopierCache like FillBoundary's.
     void ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
                       int dst_ng = 0,
                       const Periodicity& period = Periodicity::nonPeriodic());
@@ -80,6 +86,11 @@ public:
                         const MultiFab& y, int comp, int ncomp);
 
 private:
+    // Execute a cached copy plan against `src` (which may be *this),
+    // reporting each off-rank item to CommHooks under `tag`.
+    void copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp,
+                      int dcomp, int ncomp, const char* tag);
+
     BoxArray m_ba;
     DistributionMapping m_dm;
     int m_ncomp = 0;

@@ -70,7 +70,8 @@ void Multigrid::fillGhosts(MultiFab& phi, int lev) {
                     {d == 0 ? vb.smallEnd(0) - 1 : vb.bigEnd(0),
                      d == 1 ? vb.smallEnd(1) - 1 : vb.bigEnd(1),
                      d == 2 ? vb.smallEnd(2) - 1 : vb.bigEnd(2)});
-                ParallelFor(face, [=](int ii, int j, int k) {
+                ParallelFor(KernelInfo::streaming("mg_bc_fill", 16.0), face,
+                            [=](int ii, int j, int k) {
                     a(ii, j, k) = sgn * a(ii + e.x, j + e.y, k + e.z);
                 });
             }
@@ -82,7 +83,8 @@ void Multigrid::fillGhosts(MultiFab& phi, int lev) {
                     {d == 0 ? vb.bigEnd(0) + 1 : vb.bigEnd(0),
                      d == 1 ? vb.bigEnd(1) + 1 : vb.bigEnd(1),
                      d == 2 ? vb.bigEnd(2) + 1 : vb.bigEnd(2)});
-                ParallelFor(face, [=](int ii, int j, int k) {
+                ParallelFor(KernelInfo::streaming("mg_bc_fill", 16.0), face,
+                            [=](int ii, int j, int k) {
                     a(ii, j, k) = sgn * a(ii - e.x, j - e.y, k - e.z);
                 });
             }
@@ -139,7 +141,7 @@ void Multigrid::residual(MultiFab& phi, const MultiFab& rhs, MultiFab& res, int 
     for (std::size_t i = 0; i < res.size(); ++i) {
         auto r = res.array(static_cast<int>(i));
         auto b = rhs.const_array(static_cast<int>(i));
-        ParallelFor(res.box(static_cast<int>(i)),
+        ParallelFor(KernelInfo::streaming("mg_resid_sub", 24.0), res.box(static_cast<int>(i)),
                     [=](int ii, int j, int k) { r(ii, j, k) = b(ii, j, k) - r(ii, j, k); });
     }
 }
@@ -174,7 +176,8 @@ void Multigrid::vcycle(int lev) {
             ctmp.copyFrom(m_phi[lev + 1].fab(ci), isect, 0, isect, 0, 1);
         }
         auto c = ctmp.const_array();
-        ParallelFor(fb, [=](int ii, int j, int k) {
+        ParallelFor(KernelInfo::streaming("mg_prolong_add", 24.0), fb,
+                    [=](int ii, int j, int k) {
             f(ii, j, k) += c(coarsen_index(ii, 2), coarsen_index(j, 2),
                              coarsen_index(k, 2));
         });

@@ -1,0 +1,439 @@
+// Tests for the communication-metadata caching layer: the BoxArray spatial
+// hash index, stable BoxArray/DistributionMapping ids, and the CopierCache
+// memoizing FillBoundary / ParallelCopy / averageDown plans. The cached
+// paths must be bit-identical to uncached execution on every backend.
+#include "core/executor.hpp"
+#include "mesh/comm_hooks.hpp"
+#include "mesh/copier_cache.hpp"
+#include "mesh/interp.hpp"
+#include "mesh/multifab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace exa;
+
+namespace {
+
+// Deterministic xorshift RNG (tests must not depend on seeding).
+struct Rng {
+    std::uint64_t s;
+    explicit Rng(std::uint64_t seed) : s(seed ? seed : 1) {}
+    std::uint64_t next() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+    int range(int lo, int hi) { // inclusive
+        return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+};
+
+Box randomBox(Rng& rng, int span, int max_side) {
+    IntVect lo{rng.range(-span, span), rng.range(-span, span), rng.range(-span, span)};
+    IntVect hi{lo.x + rng.range(0, max_side - 1), lo.y + rng.range(0, max_side - 1),
+               lo.z + rng.range(0, max_side - 1)};
+    return Box(lo, hi);
+}
+
+// Reference linear-scan intersections (what the pre-index code did).
+std::vector<std::pair<int, Box>> linearIntersections(const BoxArray& ba,
+                                                     const Box& bx) {
+    std::vector<std::pair<int, Box>> out;
+    if (!bx.ok()) return out;
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        const Box isect = ba[i] & bx;
+        if (isect.ok()) out.emplace_back(static_cast<int>(i), isect);
+    }
+    return out;
+}
+
+// Reference containment: every zone of bx lies in some box of ba.
+bool zonewiseContains(const BoxArray& ba, const Box& bx) {
+    for (int k = bx.smallEnd(2); k <= bx.bigEnd(2); ++k)
+        for (int j = bx.smallEnd(1); j <= bx.bigEnd(1); ++j)
+            for (int i = bx.smallEnd(0); i <= bx.bigEnd(0); ++i) {
+                bool covered = false;
+                for (std::size_t b = 0; b < ba.size(); ++b) {
+                    if (ba[b].contains(i, j, k)) {
+                        covered = true;
+                        break;
+                    }
+                }
+                if (!covered) return false;
+            }
+    return true;
+}
+
+Real f(int i, int j, int k, int n) {
+    return std::sin(0.37 * i + 0.11 * j) + 0.21 * k + 1.7 * n;
+}
+
+MultiFab makeFilled(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                    int ngrow) {
+    MultiFab mf(ba, dm, ncomp, ngrow);
+    mf.setVal(-4.0e30); // poison ghosts so un-filled zones still compare
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        for (int n = 0; n < ncomp; ++n)
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                    for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i)
+                        a(i, j, k, n) = f(i, j, k, n);
+    }
+    return mf;
+}
+
+// Bitwise equality of two MultiFabs over valid + ghost zones.
+void expectIdentical(const MultiFab& a, const MultiFab& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.nComp(), b.nComp());
+    ASSERT_EQ(a.nGrow(), b.nGrow());
+    for (std::size_t fb = 0; fb < a.size(); ++fb) {
+        auto aa = a.const_array(static_cast<int>(fb));
+        auto bb = b.const_array(static_cast<int>(fb));
+        const Box gb = a.fabbox(static_cast<int>(fb));
+        for (int n = 0; n < a.nComp(); ++n)
+            for (int k = gb.smallEnd(2); k <= gb.bigEnd(2); ++k)
+                for (int j = gb.smallEnd(1); j <= gb.bigEnd(1); ++j)
+                    for (int i = gb.smallEnd(0); i <= gb.bigEnd(0); ++i)
+                        ASSERT_EQ(aa(i, j, k, n), bb(i, j, k, n))
+                            << "fab " << fb << " @ " << i << ' ' << j << ' ' << k
+                            << " comp " << n;
+    }
+}
+
+// Toggle memoization off for a scope (the plan-based execution path stays).
+class ScopedCacheDisabled {
+public:
+    ScopedCacheDisabled() : m_saved(CopierCache::instance().enabled()) {
+        CopierCache::instance().setEnabled(false);
+    }
+    ~ScopedCacheDisabled() { CopierCache::instance().setEnabled(m_saved); }
+
+private:
+    bool m_saved;
+};
+
+struct Msg {
+    int src, dst;
+    std::int64_t bytes;
+    std::string tag;
+    bool operator==(const Msg&) const = default;
+};
+
+std::vector<Msg> recordMessages(const std::function<void()>& body) {
+    std::vector<Msg> out;
+    CommHooks::setMessageHook([&](const MessageRecord& r) {
+        out.push_back({r.src_rank, r.dst_rank, r.bytes, r.tag});
+    });
+    body();
+    CommHooks::clearMessageHook();
+    return out;
+}
+
+} // namespace
+
+// --- spatial hash index --------------------------------------------------
+
+TEST(BoxArrayIndex, HashedIntersectionsMatchLinearScan) {
+    Rng rng(0x9e3779b97f4a7c15ULL);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<Box> boxes;
+        const int nbox = rng.range(1, 60);
+        for (int b = 0; b < nbox; ++b) {
+            // Mixed sizes and positions; overlap is allowed and frequent.
+            boxes.push_back(randomBox(rng, 40, rng.range(1, 12)));
+        }
+        BoxArray ba(boxes);
+        for (int q = 0; q < 25; ++q) {
+            const Box query = randomBox(rng, 48, 14);
+            const auto hashed = ba.intersections(query);
+            const auto linear = linearIntersections(ba, query);
+            ASSERT_EQ(hashed, linear) << "trial " << trial << " query " << q;
+            EXPECT_EQ(ba.intersects(query), !linear.empty());
+        }
+    }
+}
+
+TEST(BoxArrayIndex, ContainsMatchesZonewiseReferenceUnderOverlap) {
+    Rng rng(0xdeadbeefULL);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<Box> boxes;
+        const int nbox = rng.range(1, 20);
+        for (int b = 0; b < nbox; ++b) boxes.push_back(randomBox(rng, 8, 6));
+        BoxArray ba(boxes);
+        for (int q = 0; q < 10; ++q) {
+            const Box query = randomBox(rng, 9, 5); // small: zonewise ref is cheap
+            ASSERT_EQ(ba.contains(query), zonewiseContains(ba, query))
+                << "trial " << trial << " query " << query.smallEnd().x;
+        }
+    }
+}
+
+TEST(BoxArrayIndex, ContainsIsCorrectAfterJoin) {
+    // Regression: contains() used to compare the *sum* of intersection
+    // volumes against the query volume, which double-counts overlapped
+    // zones. After join() the array overlaps and the shortcut lies.
+    BoxArray a(Box({0, 0, 0}, {1, 0, 0}));
+    BoxArray b(Box({1, 0, 0}, {2, 0, 0}));
+    a.join(b); // union covers x in [0,2]; zone x=1 is covered twice
+    const Box q({0, 0, 0}, {3, 0, 0});
+    // Old shortcut: 2 + 2 = 4 zones == q.numPts() => wrongly "contained".
+    EXPECT_FALSE(a.contains(q));
+    EXPECT_TRUE(a.contains(Box({0, 0, 0}, {2, 0, 0})));
+    EXPECT_FALSE(a.isDisjoint());
+}
+
+TEST(BoxArrayIndex, DisjointAndRoundTripSemanticsPreserved) {
+    BoxArray ba(Box({0, 0, 0}, {31, 31, 31}));
+    ba.maxSize(8);
+    EXPECT_TRUE(ba.isDisjoint());
+    EXPECT_TRUE(ba.contains(Box({3, 3, 3}, {28, 28, 28})));
+    EXPECT_FALSE(ba.contains(Box({3, 3, 3}, {32, 28, 28})));
+    BoxArray back = ba;
+    back.refine(2);
+    back.coarsen(2);
+    EXPECT_EQ(back, ba); // content equality despite different ids
+}
+
+// --- stable identities ---------------------------------------------------
+
+TEST(CopierIds, CopiesShareMutationsMint) {
+    BoxArray ba(Box({0, 0, 0}, {15, 15, 15}));
+    EXPECT_NE(ba.id(), 0u);
+    BoxArray copy = ba;
+    EXPECT_EQ(copy.id(), ba.id());
+    copy.maxSize(8);
+    EXPECT_NE(copy.id(), ba.id());
+    const std::uint64_t after_chop = copy.id();
+    copy.refine(2);
+    EXPECT_NE(copy.id(), after_chop);
+    BoxArray empty;
+    EXPECT_EQ(empty.id(), 0u);
+
+    DistributionMapping dm(ba, 4);
+    EXPECT_NE(dm.id(), 0u);
+    DistributionMapping dm_copy = dm;
+    EXPECT_EQ(dm_copy.id(), dm.id());
+    DistributionMapping dm2(ba, 4);
+    EXPECT_NE(dm2.id(), dm.id()); // same content, fresh identity
+    EXPECT_EQ(dm2, dm);           // content comparison still holds
+    DistributionMapping dm_default;
+    EXPECT_EQ(dm_default.id(), 0u);
+}
+
+// --- cache behavior ------------------------------------------------------
+
+TEST(CopierCacheTest, HitsMissesAndInvalidationByIdentity) {
+    auto& cache = CopierCache::instance();
+    cache.resetStats();
+
+    BoxArray ba(Box({0, 0, 0}, {31, 31, 31}));
+    ba.maxSize(16);
+    DistributionMapping dm(ba, 4);
+    const Periodicity per(IntVect{32, 32, 32});
+
+    const auto p1 = cache.fillBoundary(ba, dm, 2, per);
+    auto s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+
+    const auto p2 = cache.fillBoundary(ba, dm, 2, per);
+    s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(p1.get(), p2.get()); // the very same plan object
+
+    // Different ghost width: a different key.
+    (void)cache.fillBoundary(ba, dm, 1, per);
+    s = cache.stats();
+    EXPECT_EQ(s.misses, 2u);
+
+    // A "regrid": mutating the BoxArray mints a fresh id, so the old plan
+    // is never consulted again.
+    ba.maxSize(8);
+    DistributionMapping dm8(ba, 4);
+    (void)cache.fillBoundary(ba, dm8, 2, per);
+    s = cache.stats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_GE(s.build_seconds, 0.0);
+}
+
+TEST(CopierCacheTest, LruEvictsBeyondCapacity) {
+    auto& cache = CopierCache::instance();
+    cache.clear();
+    cache.resetStats();
+    const std::size_t saved_cap = cache.capacity();
+    cache.setCapacity(2);
+
+    BoxArray ba(Box({0, 0, 0}, {15, 15, 15}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 2);
+    const Periodicity per = Periodicity::nonPeriodic();
+
+    (void)cache.fillBoundary(ba, dm, 1, per); // A
+    (void)cache.fillBoundary(ba, dm, 2, per); // B
+    (void)cache.fillBoundary(ba, dm, 3, per); // C evicts A (LRU)
+    auto s = cache.stats();
+    EXPECT_EQ(s.plans, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+
+    (void)cache.fillBoundary(ba, dm, 3, per); // C hits
+    (void)cache.fillBoundary(ba, dm, 1, per); // A rebuilt: miss
+    s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 4u);
+
+    cache.setCapacity(saved_cap);
+}
+
+TEST(CopierCacheTest, PlansAreComponentCountIndependent) {
+    auto& cache = CopierCache::instance();
+    BoxArray ba(Box({0, 0, 0}, {15, 15, 15}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 2);
+    MultiFab a(ba, dm, 1, 2), b(ba, dm, 5, 2);
+    a.setVal(1.0);
+    b.setVal(2.0);
+    cache.resetStats();
+    a.FillBoundary();
+    b.FillBoundary(); // same layout, different ncomp: one plan serves both
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+}
+
+// --- bit-identity of cached execution ------------------------------------
+
+class CommCacheBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(CommCacheBackends, FillBoundaryCachedMatchesUncached) {
+    ScopedBackend backend(GetParam());
+    for (bool periodic : {false, true}) {
+        const int nx = 16;
+        BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+        ba.maxSize(8);
+        DistributionMapping dm(ba, 4);
+        const Periodicity per = periodic ? Periodicity(IntVect{nx, nx, nx})
+                                         : Periodicity::nonPeriodic();
+
+        MultiFab cached = makeFilled(ba, dm, 2, 2);
+        cached.FillBoundary(per); // cold: builds and caches the plan
+        cached.FillBoundary(per); // warm: replays the cached plan
+
+        MultiFab reference = makeFilled(ba, dm, 2, 2);
+        {
+            ScopedCacheDisabled off;
+            reference.FillBoundary(per);
+            reference.FillBoundary(per);
+        }
+        expectIdentical(cached, reference);
+    }
+}
+
+TEST_P(CommCacheBackends, ParallelCopyCachedMatchesUncached) {
+    ScopedBackend backend(GetParam());
+    const int nx = 16;
+    BoxArray sba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    sba.maxSize(8);
+    DistributionMapping sdm(sba, 4);
+    MultiFab src = makeFilled(sba, sdm, 2, 0);
+
+    BoxArray dba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    dba.maxSize(4); // different decomposition
+    DistributionMapping ddm(dba, 3);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab cached(dba, ddm, 2, 1);
+    cached.setVal(0.0);
+    cached.ParallelCopy(src, 0, 0, 2, 1, per);
+    cached.ParallelCopy(src, 0, 0, 2, 1, per); // warm
+
+    MultiFab reference(dba, ddm, 2, 1);
+    reference.setVal(0.0);
+    {
+        ScopedCacheDisabled off;
+        reference.ParallelCopy(src, 0, 0, 2, 1, per);
+        reference.ParallelCopy(src, 0, 0, 2, 1, per);
+    }
+    expectIdentical(cached, reference);
+}
+
+TEST_P(CommCacheBackends, FillPatchAndAverageDownCachedMatchUncached) {
+    ScopedBackend backend(GetParam());
+    const Box cdom({0, 0, 0}, {15, 15, 15});
+    Geometry cgeom(cdom, {0, 0, 0}, {1, 1, 1}, IntVect{1, 1, 1});
+    Geometry fgeom = cgeom.refined(2);
+
+    BoxArray cba(cdom);
+    cba.maxSize(8);
+    DistributionMapping cdm(cba, 2);
+    MultiFab crse = makeFilled(cba, cdm, 1, 1);
+    crse.FillBoundary(cgeom.periodicity());
+
+    BoxArray fba(refine(Box({4, 4, 4}, {11, 11, 11}), 2));
+    fba.maxSize(8);
+    DistributionMapping fdm(fba, 2);
+    MultiFab fine = makeFilled(fba, fdm, 1, 0);
+
+    BoxArray dba(refine(Box({2, 2, 2}, {13, 13, 13}), 2));
+    dba.maxSize(12);
+    DistributionMapping ddm(dba, 2);
+
+    auto run = [&](MultiFab& dst, MultiFab& avg) {
+        dst.setVal(0.0);
+        // Twice: the second pass exercises the warm plans.
+        fillPatchTwoLevels(dst, 2, fine, crse, cgeom, fgeom, 2, 0, 1);
+        fillPatchTwoLevels(dst, 2, fine, crse, cgeom, fgeom, 2, 0, 1);
+        avg.setVal(0.0);
+        averageDown(avg, fine, 2, 0, 0, 1);
+        averageDown(avg, fine, 2, 0, 0, 1);
+    };
+
+    MultiFab dst_cached(dba, ddm, 1, 2), avg_cached(cba, cdm, 1, 0);
+    run(dst_cached, avg_cached);
+
+    MultiFab dst_ref(dba, ddm, 1, 2), avg_ref(cba, cdm, 1, 0);
+    {
+        ScopedCacheDisabled off;
+        run(dst_ref, avg_ref);
+    }
+    expectIdentical(dst_cached, dst_ref);
+    expectIdentical(avg_cached, avg_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CommCacheBackends,
+                         ::testing::Values(Backend::Serial, Backend::OpenMP,
+                                           Backend::SimGpu, Backend::Debug),
+                         [](const auto& info) {
+                             return std::string(backendName(info.param));
+                         });
+
+// --- message accounting --------------------------------------------------
+
+TEST(CopierCacheTest, WarmFillBoundaryReportsIdenticalMessages) {
+    const int nx = 16;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 8); // one box per rank: everything off-rank
+    const Periodicity per(IntVect{nx, nx, nx});
+    MultiFab mf = makeFilled(ba, dm, 3, 2);
+
+    const auto cold = recordMessages([&] { mf.FillBoundary(per); });
+    const auto warm = recordMessages([&] { mf.FillBoundary(per); });
+    std::vector<Msg> uncached;
+    {
+        ScopedCacheDisabled off;
+        uncached = recordMessages([&] { mf.FillBoundary(per); });
+    }
+    EXPECT_FALSE(cold.empty());
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(cold, uncached);
+}
