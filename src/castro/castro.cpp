@@ -1,5 +1,6 @@
 #include "castro/castro.hpp"
 
+#include "castro/validate.hpp"
 #include "core/parallel_for.hpp"
 #include "core/timer.hpp"
 
@@ -17,7 +18,8 @@ Castro::Castro(const Geometry& geom, const BoxArray& ba,
       m_opt(opt),
       m_layout(net.nspec()),
       m_state(ba, dm, m_layout.ncomp(), opt.ngrow),
-      m_gravity(opt.gravity, geom, net.nspec()) {
+      m_gravity(opt.gravity, geom, net.nspec()),
+      m_guard(opt.guard) {
     m_state.setVal(0.0);
 }
 
@@ -95,7 +97,7 @@ void Castro::hydroAdvance(Real dt) {
     enforceConsistency(m_state, m_net, m_eos, m_opt.small_dens);
 }
 
-BurnGridStats Castro::step(Real dt) {
+BurnGridStats Castro::advanceOnce(Real dt) {
     BurnGridStats burn;
 
     if (m_opt.do_react) {
@@ -117,13 +119,45 @@ BurnGridStats Castro::step(Real dt) {
 
     if (m_opt.do_react) {
         TimerRegion timer("castro::react");
-        auto b2 = reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react);
-        burn.zones += b2.zones;
-        burn.total_steps += b2.total_steps;
-        burn.max_steps = std::max(burn.max_steps, b2.max_steps);
-        burn.failures += b2.failures;
+        burn.merge(reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react));
     }
 
+    return burn;
+}
+
+BurnGridStats Castro::step(Real dt) {
+    if (!m_opt.guard.enabled) {
+        BurnGridStats burn = advanceOnce(dt);
+        m_time += dt;
+        ++m_nstep;
+        return burn;
+    }
+
+    // Guarded step: snapshot, advance (possibly as substeps), validate;
+    // on failure roll back and re-advance with geometric dt backoff.
+    BurnGridStats burn;
+    m_guard.advance(
+        dt,
+        [&](StateSnapshot& snap) { snap.capture(m_state); },
+        [&](const StateSnapshot& snap) { snap.restoreTo(0, m_state); },
+        [&](Real sub_dt, int nsub) {
+            burn = BurnGridStats{};
+            for (int s = 0; s < nsub; ++s) burn.merge(advanceOnce(sub_dt));
+        },
+        [&] {
+            return validateState(m_state, m_net.nspec(), m_opt.guard, &burn);
+        },
+        [&](const StateSnapshot& snap, bool advance_threw) {
+            // Clamp-and-warn: replace the zones that went bad with their
+            // pre-step values and recompute T. When the advance itself
+            // threw, the engine already restored the snapshot wholesale.
+            if (!advance_threw) {
+                repairInvalidZones(m_state, snap.mf(0), m_opt.guard);
+                enforceConsistency(m_state, m_net, m_eos, m_opt.small_dens);
+            }
+        });
+
+    // One guarded step is one step, however many substeps it took.
     m_time += dt;
     ++m_nstep;
     return burn;
@@ -170,6 +204,8 @@ Real Castro::minBurnTimescaleRatio(Real T_threshold) const {
     const int nspec = m_net.nspec();
     Real ratio = 1.0e99;
     const Real dx = m_geom.cellSize(0);
+    // Serial diagnostic loop: size the scratch to the network.
+    std::vector<Real> X(nspec);
     for (std::size_t b = 0; b < m_state.size(); ++b) {
         auto u = m_state.const_array(static_cast<int>(b));
         const Box& vb = m_state.box(static_cast<int>(b));
@@ -179,17 +215,17 @@ Real Castro::minBurnTimescaleRatio(Real T_threshold) const {
                     const Real T = u(i, j, k, StateLayout::UTEMP);
                     if (T < T_threshold) continue;
                     const Real rho = u(i, j, k, StateLayout::URHO);
-                    Real X[32];
                     for (int n = 0; n < nspec; ++n) {
                         X[n] = std::clamp(u(i, j, k, StateLayout::UFS + n) / rho,
                                           Real(0), Real(1));
                     }
-                    const Real t_burn = burningTimescale(m_net, m_eos, rho, T, X);
+                    const Real t_burn =
+                        burningTimescale(m_net, m_eos, rho, T, X.data());
                     EosState s;
                     s.rho = rho;
                     s.T = T;
-                    s.abar = m_net.abar(X);
-                    s.ye = m_net.ye(X);
+                    s.abar = m_net.abar(X.data());
+                    s.ye = m_net.ye(X.data());
                     m_eos.rhoT(s);
                     const Real t_cross = dx / std::max(s.cs, Real(1.0));
                     ratio = std::min(ratio, t_burn / t_cross);

@@ -4,6 +4,7 @@
 #include "castro/hydro.hpp"
 #include "castro/react.hpp"
 #include "mesh/phys_bc.hpp"
+#include "mesh/step_guard.hpp"
 
 #include <functional>
 #include <memory>
@@ -19,6 +20,9 @@ struct CastroOptions {
     ReactOptions react;
     int ngrow = 4;
     Real small_dens = 1.0e-12;
+    // Step retry: snapshot / validate / rollback-with-dt-backoff around
+    // every step (Castro's use_retry analogue). Off by default.
+    StepGuardOptions guard;
 };
 
 // The single-level Castro-mini driver: compressible reacting
@@ -51,11 +55,18 @@ public:
 
     Real estimateDt() const;
     // Advance one step; returns burn statistics (zeros when reactions are
-    // off).
+    // off). With opt.guard.enabled the step runs under the StepGuard
+    // retry loop: an invalid post-step state is rolled back and
+    // re-advanced as 2, 4, ... substeps; a guarded step still advances
+    // time by exactly dt and counts as one step.
     BurnGridStats step(Real dt);
 
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
+
+    // Retry accounting for the guarded steps of this run (zeros when the
+    // guard is disabled).
+    const RetryStats& retryStats() const { return m_guard.stats(); }
 
     // Diagnostics.
     Real totalMass() const;
@@ -78,6 +89,9 @@ public:
 
 private:
     void hydroAdvance(Real dt);
+    // One unguarded advance of size dt (the pre-guard step body); does not
+    // touch m_time/m_nstep.
+    BurnGridStats advanceOnce(Real dt);
 
     Geometry m_geom;
     const ReactionNetwork& m_net;
@@ -86,6 +100,7 @@ private:
     StateLayout m_layout;
     MultiFab m_state;
     Gravity m_gravity;
+    StepGuard m_guard;
     Real m_time = 0.0;
     int m_nstep = 0;
 };

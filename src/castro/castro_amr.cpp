@@ -1,9 +1,11 @@
 #include "castro/castro_amr.hpp"
 
+#include "castro/validate.hpp"
 #include "core/parallel_for.hpp"
 
 #include <cassert>
 #include <limits>
+#include <string>
 
 namespace exa::castro {
 
@@ -16,7 +18,8 @@ CastroAmr::CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
       m_opt(opt),
       m_layout(net.nspec()),
       m_init(std::move(init)),
-      m_tag(std::move(tag)) {
+      m_tag(std::move(tag)),
+      m_guard(opt.guard) {
     m_state.resize(info.max_level + 1);
 }
 
@@ -162,19 +165,18 @@ void CastroAmr::advanceLevel(int lev, Real dt) {
     enforceConsistency(s, m_net, m_eos, m_opt.small_dens);
 }
 
-BurnGridStats CastroAmr::step(Real dt) {
+BurnGridStats CastroAmr::advanceOnce(Real dt) {
     BurnGridStats burn;
-    auto accumulate = [&](const BurnGridStats& b) {
-        burn.zones += b.zones;
-        burn.total_steps += b.total_steps;
-        burn.max_steps = std::max(burn.max_steps, b.max_steps);
-        burn.failures += b.failures;
+    auto accumulate = [&](BurnGridStats b, int lev) {
+        if (b.first_failure.valid) b.first_failure.level = lev;
+        burn.merge(b);
     };
 
     // Strang half-burn on every level (finest last so averaging wins).
     if (m_opt.do_react) {
         for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react));
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react),
+                       lev);
         }
     }
     // Hydro, coarse to fine, then synchronize by averaging down.
@@ -186,12 +188,68 @@ BurnGridStats CastroAmr::step(Real dt) {
     }
     if (m_opt.do_react) {
         for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react));
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react),
+                       lev);
         }
         for (int lev = finestLevel(); lev > 0; --lev) {
             averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
                         m_layout.ncomp());
         }
+    }
+
+    return burn;
+}
+
+BurnGridStats CastroAmr::step(Real dt) {
+    BurnGridStats burn;
+    if (!m_guard.options().enabled) {
+        burn = advanceOnce(dt);
+    } else {
+        // Snapshot every level; restore requires the BoxArrays to be
+        // unchanged, which holds because regridding happens only below,
+        // after the guarded step is accepted.
+        m_guard.advance(
+            dt,
+            [&](StateSnapshot& snap) {
+                for (int lev = 0; lev <= finestLevel(); ++lev) {
+                    snap.capture(m_state[lev]);
+                }
+            },
+            [&](const StateSnapshot& snap) {
+                for (int lev = 0; lev <= finestLevel(); ++lev) {
+                    snap.restoreTo(static_cast<std::size_t>(lev), m_state[lev]);
+                }
+            },
+            [&](Real sub_dt, int nsub) {
+                burn = BurnGridStats{};
+                for (int s = 0; s < nsub; ++s) burn.merge(advanceOnce(sub_dt));
+            },
+            [&] {
+                ValidationReport rep;
+                for (int lev = 0; lev <= finestLevel(); ++lev) {
+                    // Burn stats are hierarchy-wide; attach them to the
+                    // level-0 report so they are flagged exactly once.
+                    ValidationReport r = validateState(
+                        m_state[lev], m_net.nspec(), m_opt.guard,
+                        lev == 0 ? &burn : nullptr,
+                        "level " + std::to_string(lev));
+                    for (auto& issue : r.issues) {
+                        rep.issues.push_back(std::move(issue));
+                    }
+                }
+                return rep;
+            },
+            [&](const StateSnapshot& snap, bool advance_threw) {
+                if (!advance_threw) {
+                    for (int lev = 0; lev <= finestLevel(); ++lev) {
+                        repairInvalidZones(m_state[lev],
+                                           snap.mf(static_cast<std::size_t>(lev)),
+                                           m_opt.guard);
+                        enforceConsistency(m_state[lev], m_net, m_eos,
+                                           m_opt.small_dens);
+                    }
+                }
+            });
     }
 
     m_time += dt;

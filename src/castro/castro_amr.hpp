@@ -39,12 +39,18 @@ public:
     Real estimateDt() const;
 
     // Advance the whole hierarchy by dt; regrids every regrid_interval
-    // steps. Returns total burn stats over all levels.
+    // steps. Returns total burn stats over all levels. With
+    // opt.guard.enabled the whole-hierarchy step runs under the StepGuard
+    // retry loop; regridding is deferred to after the step is accepted, so
+    // a rollback never faces a changed BoxArray.
     BurnGridStats step(Real dt);
 
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
     int regrid_interval = 4;
+
+    // Retry accounting for the guarded steps of this run.
+    const RetryStats& retryStats() const { return m_guard.stats(); }
 
     // Conservation diagnostics over the hierarchy: sums on the coarsest
     // level are authoritative after average_down.
@@ -69,6 +75,9 @@ protected:
 
 private:
     void advanceLevel(int lev, Real dt);
+    // One unguarded hierarchy advance of size dt (no time bookkeeping, no
+    // regrid).
+    BurnGridStats advanceOnce(Real dt);
     void initLevelData(int lev, MultiFab& mf);
     void applyPhysBC(int lev, MultiFab& mf);
 
@@ -79,6 +88,7 @@ private:
     Castro::InitFn m_init;
     TagFn m_tag;
     std::vector<MultiFab> m_state;
+    StepGuard m_guard;
     Real m_time = 0.0;
     int m_nstep = 0;
 };

@@ -1,10 +1,13 @@
 #include "castro/hydro.hpp"
 
+#include "core/fault.hpp"
 #include "core/parallel_for.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace exa::castro {
 
@@ -29,11 +32,25 @@ KernelInfo updateKernel(int nspec) {
                       1.0};
 }
 
+// The per-zone kernels below keep species scratch in fixed stack arrays
+// (GPU register idiom: X[32], ql/qr[40]); a network wider than that would
+// silently overrun them. Reject it loudly instead.
+constexpr int max_kernel_nspec = 32;
+void checkKernelSpeciesLimit(int nspec) {
+    if (nspec > max_kernel_nspec) {
+        throw std::invalid_argument(
+            "castro hydro kernels support at most " +
+            std::to_string(max_kernel_nspec) + " species, got " +
+            std::to_string(nspec));
+    }
+}
+
 } // namespace
 
 void conservedToPrimitive(Array4<const Real> u, Array4<Real> q, const Box& region,
                           const ReactionNetwork& net, const Eos& eos) {
     const int nspec = net.nspec();
+    checkKernelSpeciesLimit(nspec);
     const PrimLayout Q(nspec);
     constexpr int URHO = StateLayout::URHO;
     constexpr int UMX = StateLayout::UMX;
@@ -193,6 +210,7 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
             const ReactionNetwork& net, const Eos& eos,
             std::array<MultiFab, 3>* fluxes, Reconstruction recon) {
     const int nspec = net.nspec();
+    checkKernelSpeciesLimit(nspec);
     const PrimLayout Q(nspec);
     const StateLayout S(nspec);
     const int nstate = S.ncomp();
@@ -264,6 +282,14 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
                              (fy(i, j + 1, k, n) - fy(i, j, k, n)) * dyi -
                              (fz(i, j, k + 1, n) - fz(i, j, k, n)) * dzi;
         });
+        // Injection site: a NaN escapes the flux computation into the
+        // update of this fab's first valid zone. Plain host write, after
+        // the launch, so Backend::Debug order replay is unaffected.
+        if (fault::shouldFire(fault::Site::HydroNanFlux)) {
+            const IntVect lo = vb.smallEnd();
+            dudt.fab(fi).array()(lo.x, lo.y, lo.z, StateLayout::UEDEN) =
+                std::numeric_limits<Real>::quiet_NaN();
+        }
 
         if (fluxes != nullptr) {
             for (int d = 0; d < 3; ++d) {
@@ -302,6 +328,7 @@ Real estimateDt(const MultiFab& state, const Geometry& geom,
 void enforceConsistency(MultiFab& state, const ReactionNetwork& net, const Eos& eos,
                         Real small_dens) {
     const int nspec = net.nspec();
+    checkKernelSpeciesLimit(nspec);
     const ReactionNetwork* netp = &net;
     const Eos* eosp = &eos;
     for (std::size_t f = 0; f < state.size(); ++f) {

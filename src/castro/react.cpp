@@ -13,6 +13,9 @@ BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos&
     const int nspec = net.nspec();
     BurnGridStats stats;
     std::vector<std::int64_t> zone_steps;
+    // Serial per-zone loop: size the scratch to the network instead of a
+    // fixed stack buffer, so large networks can't overrun it.
+    std::vector<Real> X(nspec);
 
     for (std::size_t f = 0; f < state.size(); ++f) {
         auto u = state.array(static_cast<int>(f));
@@ -32,14 +35,17 @@ BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos&
                         stats.max_steps = std::max<std::int64_t>(stats.max_steps, 1);
                         continue;
                     }
-                    Real X[32];
                     for (int n = 0; n < nspec; ++n) {
                         X[n] = std::clamp(u(i, j, k, StateLayout::UFS + n) / rho,
                                           Real(0), Real(1));
                     }
-                    auto r = burnZone(net, eos, rho, T, X, dt, opt.ode);
+                    auto r = burnZone(net, eos, rho, T, X.data(), dt, opt.ode);
                     if (!r.success) {
                         ++stats.failures;
+                        if (!stats.first_failure.valid) {
+                            stats.first_failure = {true, i, j, k,
+                                                   static_cast<int>(f), -1, rho, T};
+                        }
                         zone_steps.push_back(r.stats.steps + 1);
                         stats.total_steps += r.stats.steps + 1;
                         continue;

@@ -14,6 +14,7 @@ std::unique_ptr<Castro> makeSedov(const SedovParams& p, const ReactionNetwork& n
     CastroOptions opt;
     opt.cfl = p.cfl;
     opt.bc = DomainBC::allOutflow();
+    opt.guard = p.guard;
 
     Eos eos{GammaLawEos{p.gamma}};
     auto castro = std::make_unique<Castro>(geom, ba, dm, net, eos, opt);

@@ -20,6 +20,7 @@ struct SedovParams {
     Real r_init = 0.0;       // deposit radius; 0 -> 2 zone widths
     Real gamma = 1.4;
     Real cfl = 0.4;
+    StepGuardOptions guard;  // step retry (off by default)
 };
 
 // Build a gamma-law Castro instance initialized with the blast.

@@ -1,6 +1,7 @@
 #include "core/arena.hpp"
 
 #include "core/debug.hpp"
+#include "core/fault.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -55,6 +56,10 @@ void forEachLiveArenaBlock(const std::function<void(void*, std::size_t)>& cb) {
 }
 
 void* MallocArena::allocate(std::size_t bytes) {
+    // Injection site: a failed device allocation mid-step. Thrown (not
+    // returned as nullptr) so callers exercise their unwind paths the way
+    // a real cudaMalloc failure surfaces through AMReX's Arena.
+    if (fault::shouldFire(fault::Site::ArenaAllocFailure)) throw std::bad_alloc{};
     void* p = aligned_alloc_checked(bytes);
     std::lock_guard<std::mutex> lk(m_mutex);
     ++m_stats.allocs;
@@ -113,6 +118,7 @@ std::size_t PoolArena::sizeClass(std::size_t bytes) const {
 }
 
 void* PoolArena::allocate(std::size_t bytes) {
+    if (fault::shouldFire(fault::Site::ArenaAllocFailure)) throw std::bad_alloc{};
     const std::size_t cls = sizeClass(bytes);
     std::lock_guard<std::mutex> lk(m_mutex);
     ++m_stats.allocs;

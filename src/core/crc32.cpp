@@ -1,0 +1,33 @@
+#include "core/crc32.hpp"
+
+#include <array>
+
+namespace exa {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeTable() {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+        }
+        t[n] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace exa

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exa {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+// checkpoint payloads. Incremental use: feed the previous return value
+// back as `seed` to extend a running checksum across buffers.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+} // namespace exa

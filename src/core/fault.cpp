@@ -1,0 +1,192 @@
+#include "core/fault.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace exa::fault {
+
+namespace {
+
+struct SiteState {
+    bool armed = false;
+    Spec spec;
+    std::int64_t hits = 0;
+    std::int64_t fires = 0;
+};
+
+std::mutex g_mutex;
+SiteState g_sites[nsites];
+std::atomic<int> g_armed_count{0};
+
+constexpr const char* kNames[nsites] = {
+    "burn-zone-failure", "hydro-nan-flux", "arena-alloc-failure",
+    "halo-payload-corrupt", "checkpoint-bit-flip",
+};
+
+// splitmix64: a well-mixed hash of (seed, hit) for the probability mode.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool specFires(const Spec& sp, std::int64_t hit) {
+    if (sp.probability >= 0.0) {
+        const std::uint64_t h = mix(sp.seed ^ mix(static_cast<std::uint64_t>(hit)));
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < sp.probability;
+    }
+    if (hit < sp.start) return false;
+    if (sp.count > 0 && hit >= sp.start + sp.count) return false;
+    const std::int64_t stride = sp.stride > 0 ? sp.stride : 1;
+    return (hit - sp.start) % stride == 0;
+}
+
+// One-time EXA_FAULTS pickup, deferred to the first registry query so
+// tests that set the environment in main() (debug_main-style) are seen.
+std::once_flag g_env_once;
+void initFromEnvironment() {
+    const char* e = std::getenv("EXA_FAULTS");
+    if (e == nullptr || *e == '\0') return;
+    std::string err;
+    if (!configureFromString(e, &err)) {
+        std::fprintf(stderr, "[exa-fault] ignoring malformed EXA_FAULTS: %s\n",
+                     err.c_str());
+    }
+}
+void ensureEnvInit() { std::call_once(g_env_once, initFromEnvironment); }
+
+} // namespace
+
+const char* siteName(Site s) { return kNames[static_cast<int>(s)]; }
+
+bool siteFromName(const std::string& name, Site& out) {
+    for (int i = 0; i < nsites; ++i) {
+        if (name == kNames[i]) {
+            out = static_cast<Site>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void arm(Site s, const Spec& spec) {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    SiteState& st = g_sites[static_cast<int>(s)];
+    if (!st.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+    st.armed = true;
+    st.spec = spec;
+    st.hits = 0;
+    st.fires = 0;
+}
+
+void disarm(Site s) {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    SiteState& st = g_sites[static_cast<int>(s)];
+    if (st.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    st.armed = false;
+}
+
+void disarmAll() {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    for (SiteState& st : g_sites) st = SiteState{};
+    g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+void resetCounters() {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    for (SiteState& st : g_sites) {
+        st.hits = 0;
+        st.fires = 0;
+    }
+}
+
+bool armed(Site s) {
+    ensureEnvInit();
+    std::lock_guard<std::mutex> lk(g_mutex);
+    return g_sites[static_cast<int>(s)].armed;
+}
+
+SiteStats stats(Site s) {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    const SiteState& st = g_sites[static_cast<int>(s)];
+    return SiteStats{st.armed, st.spec, st.hits, st.fires};
+}
+
+bool anyArmed() {
+    ensureEnvInit();
+    return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+bool shouldFire(Site s) {
+    if (!anyArmed()) return false;
+    std::lock_guard<std::mutex> lk(g_mutex);
+    SiteState& st = g_sites[static_cast<int>(s)];
+    if (!st.armed) return false;
+    const std::int64_t hit = st.hits++;
+    if (!specFires(st.spec, hit)) return false;
+    ++st.fires;
+    return true;
+}
+
+bool configureFromString(const std::string& cfg, std::string* error) {
+    auto fail = [&](const std::string& why) {
+        if (error != nullptr) *error = why;
+        return false;
+    };
+    std::size_t pos = 0;
+    while (pos < cfg.size()) {
+        std::size_t end = cfg.find(';', pos);
+        if (end == std::string::npos) end = cfg.size();
+        const std::string entry = cfg.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty()) continue;
+
+        const std::size_t colon = entry.find(':');
+        const std::string name = entry.substr(0, colon);
+        Site site;
+        if (!siteFromName(name, site)) return fail("unknown site '" + name + "'");
+        Spec spec;
+        if (colon != std::string::npos) {
+            std::size_t kpos = colon + 1;
+            while (kpos < entry.size()) {
+                std::size_t kend = entry.find(',', kpos);
+                if (kend == std::string::npos) kend = entry.size();
+                const std::string kv = entry.substr(kpos, kend - kpos);
+                kpos = kend + 1;
+                if (kv.empty()) continue;
+                const std::size_t eq = kv.find('=');
+                if (eq == std::string::npos) {
+                    return fail("missing '=' in '" + kv + "'");
+                }
+                const std::string key = kv.substr(0, eq);
+                const std::string val = kv.substr(eq + 1);
+                try {
+                    if (key == "start") {
+                        spec.start = std::stoll(val);
+                    } else if (key == "count") {
+                        spec.count = std::stoll(val);
+                    } else if (key == "stride") {
+                        spec.stride = std::stoll(val);
+                    } else if (key == "prob") {
+                        spec.probability = std::stod(val);
+                    } else if (key == "seed") {
+                        spec.seed = std::stoull(val);
+                    } else {
+                        return fail("unknown key '" + key + "'");
+                    }
+                } catch (const std::exception&) {
+                    return fail("bad value '" + val + "' for key '" + key + "'");
+                }
+            }
+        }
+        arm(site, spec);
+    }
+    return true;
+}
+
+} // namespace exa::fault

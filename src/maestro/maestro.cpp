@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace exa::maestro {
 
@@ -33,7 +34,8 @@ Maestro::Maestro(const Geometry& geom, const BoxArray& ba,
       m_base(base),
       m_opt(opt),
       m_layout(net.nspec()),
-      m_state(ba, dm, m_layout.ncomp(), opt.ngrow) {
+      m_state(ba, dm, m_layout.ncomp(), opt.ngrow),
+      m_guard(opt.guard) {
     m_state.setVal(0.0);
     m_mg = std::make_unique<Multigrid>(geom, MgBC::Neumann, opt.mg);
     m_phi.define(ba, dm, 1, 1);
@@ -221,6 +223,10 @@ BurnGridStats Maestro::react(Real dt) {
                         }
                     } else {
                         ++stats.failures;
+                        if (!stats.first_failure.valid) {
+                            stats.first_failure = {true, i, j, k,
+                                                   static_cast<int>(b), -1, rho, T};
+                        }
                     }
                     const std::int64_t st = std::max<std::int64_t>(r.stats.steps, 1);
                     fab_steps += st;
@@ -323,7 +329,7 @@ Real Maestro::maxAbsDivergence() {
     return mx;
 }
 
-BurnGridStats Maestro::step(Real dt) {
+BurnGridStats Maestro::advanceOnce(Real dt) {
     advect(dt);
     buoyancy(dt);
     BurnGridStats burn;
@@ -331,6 +337,97 @@ BurnGridStats Maestro::step(Real dt) {
     if (m_opt.proj_interval > 0 && (m_nstep + 1) % m_opt.proj_interval == 0) {
         project();
     }
+    return burn;
+}
+
+ValidationReport Maestro::validate(const BurnGridStats& burn) const {
+    const StepGuardOptions& opt = m_opt.guard;
+    ValidationReport rep;
+    if (opt.check_finite) checkFinite(m_state, rep, "");
+    // Low Mach state: density is derived, so positivity means T > 0.
+    checkAbove(m_state, MaestroLayout::QT, 0.0, "negative-temperature", rep, "");
+    // Species fractions are stored directly (not rho-weighted).
+    const int nspec = m_net.nspec();
+    for (std::size_t f = 0; f < m_state.size(); ++f) {
+        auto q = m_state.const_array(static_cast<int>(f));
+        const Box& vb = m_state.box(static_cast<int>(f));
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k) {
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j) {
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    Real xsum = 0.0;
+                    for (int n = 0; n < nspec; ++n) {
+                        xsum += q(i, j, k, MaestroLayout::QFS + n);
+                    }
+                    if (!(std::abs(xsum - 1.0) <= opt.species_sum_rtol)) {
+                        std::ostringstream os;
+                        os << "fab " << f << ", zone (" << i << "," << j << ","
+                           << k << "), sum X = " << xsum;
+                        rep.add("species-sum-drift", os.str());
+                        goto next_fab;
+                    }
+                }
+            }
+        }
+    next_fab:;
+    }
+    if (burn.failures > 0) {
+        const double frac =
+            burn.zones > 0 ? static_cast<double>(burn.failures) / burn.zones : 1.0;
+        if (frac > opt.burn_failure_tol) {
+            std::ostringstream os;
+            os << burn.failures << " of " << burn.zones << " zones failed to burn";
+            const std::string where = burn.describeFailure();
+            if (!where.empty()) os << "; first at " << where;
+            rep.add("burn-failures", os.str());
+        }
+    }
+    return rep;
+}
+
+BurnGridStats Maestro::step(Real dt) {
+    if (!m_opt.guard.enabled) {
+        BurnGridStats burn = advanceOnce(dt);
+        m_time += dt;
+        ++m_nstep;
+        return burn;
+    }
+
+    BurnGridStats burn;
+    m_guard.advance(
+        dt,
+        [&](StateSnapshot& snap) { snap.capture(m_state); },
+        [&](const StateSnapshot& snap) { snap.restoreTo(0, m_state); },
+        [&](Real sub_dt, int nsub) {
+            burn = BurnGridStats{};
+            for (int s = 0; s < nsub; ++s) burn.merge(advanceOnce(sub_dt));
+        },
+        [&] { return validate(burn); },
+        [&](const StateSnapshot& snap, bool advance_threw) {
+            if (advance_threw) return; // engine already restored the snapshot
+            // Clamp-and-warn: rewind only the zones that went bad.
+            auto bad = [&](Array4<const Real> q, int i, int j, int k) {
+                for (int n = 0; n < m_layout.ncomp(); ++n) {
+                    if (!std::isfinite(q(i, j, k, n))) return true;
+                }
+                return !(q(i, j, k, MaestroLayout::QT) > 0.0);
+            };
+            const MultiFab& s0 = snap.mf(0);
+            for (std::size_t f = 0; f < m_state.size(); ++f) {
+                auto q = m_state.array(static_cast<int>(f));
+                auto s = s0.const_array(static_cast<int>(f));
+                const Box& vb = m_state.box(static_cast<int>(f));
+                for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                    for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                        for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                            if (bad(q, i, j, k)) {
+                                for (int n = 0; n < m_layout.ncomp(); ++n) {
+                                    q(i, j, k, n) = s(i, j, k, n);
+                                }
+                            }
+                        }
+            }
+        });
+
     m_time += dt;
     ++m_nstep;
     return burn;
@@ -373,6 +470,7 @@ std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
     MaestroOptions opt;
     opt.do_react = p.do_react;
     opt.react.T_min = 1.0e8;
+    opt.guard = p.guard;
 
     auto m = std::make_unique<Maestro>(geom, ba, dm, net, eos, base, opt);
     const Real r_bub = p.bubble_radius_frac * p.domain_width;

@@ -3,6 +3,7 @@
 #include "castro/react.hpp"
 #include "maestro/base_state.hpp"
 #include "mesh/phys_bc.hpp"
+#include "mesh/step_guard.hpp"
 #include "solvers/multigrid.hpp"
 
 #include <memory>
@@ -32,6 +33,10 @@ struct MaestroOptions {
     castro::ReactOptions react; // reuses the Castro burn driver options
     bool do_react = true;
     Multigrid::Options mg;
+    // Step retry (StepGuard) around each step; min_density/min_energy do
+    // not apply to the low Mach state (density is EOS-derived) — the
+    // validator checks finiteness, T > 0, species sums, and burn failures.
+    StepGuardOptions guard;
 };
 
 // The low Mach number solver: advection (MC-limited upwind), buoyancy
@@ -59,10 +64,14 @@ public:
     Real estimateDt() const;
 
     // One step: advect, buoyancy, react, project. Returns burn stats.
+    // With opt.guard.enabled the step runs under the StepGuard retry loop.
     BurnGridStats step(Real dt);
 
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
+
+    // Retry accounting for the guarded steps of this run.
+    const RetryStats& retryStats() const { return m_guard.stats(); }
 
     // EOS density at the base-state pressure for (k, T, X).
     Real rhoOf(int kzone, Real T, const Real* X) const;
@@ -81,6 +90,9 @@ private:
     void advect(Real dt);
     void buoyancy(Real dt);
     BurnGridStats react(Real dt);
+    // One unguarded advance of size dt (no time bookkeeping).
+    BurnGridStats advanceOnce(Real dt);
+    ValidationReport validate(const BurnGridStats& burn) const;
     void fillGhosts(MultiFab& s);
 
     Geometry m_geom;
@@ -92,6 +104,7 @@ private:
     MultiFab m_state;
     std::unique_ptr<Multigrid> m_mg;
     MultiFab m_phi, m_divu;
+    StepGuard m_guard;
     Real m_time = 0.0;
     int m_nstep = 0;
     int m_last_vcycles = 0;
@@ -112,6 +125,7 @@ struct BubbleParams {
     Real bubble_height_frac = 0.35;
     Real gravity = -1.5e10;      // cm/s^2
     bool do_react = true;
+    StepGuardOptions guard;      // step retry (off by default)
 };
 
 std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,

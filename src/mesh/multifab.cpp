@@ -1,6 +1,7 @@
 #include "mesh/multifab.hpp"
 
 #include "core/executor.hpp"
+#include "core/fault.hpp"
 #include "core/parallel_for.hpp"
 #include "mesh/comm_hooks.hpp"
 #include "mesh/copier_cache.hpp"
@@ -84,6 +85,26 @@ void MultiFab::copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp
         streams.use(static_cast<std::size_t>(item.dst_fab));
         m_fabs[item.dst_fab].copyFrom(src.m_fabs[item.src_fab], item.src_box, scomp,
                                       item.dst_box, dcomp, ncomp);
+        // Injection site: a corrupted message payload — one value of the
+        // just-delivered region becomes NaN, as if the wire flipped bits.
+        // The poisoned zone is the one nearest the receiving fab's valid
+        // box, so a ghost-fill corruption actually feeds the stencils that
+        // read it. Plain host write (not a launch) so Backend::Debug's
+        // replay passes see identical state.
+        if (fault::shouldFire(fault::Site::HaloPayloadCorrupt)) {
+            const Box& vb = m_ba[item.dst_fab];
+            IntVect p;
+            for (int d = 0; d < 3; ++d) {
+                p[d] = std::clamp(vb.smallEnd(d), item.dst_box.smallEnd(d),
+                                  item.dst_box.bigEnd(d));
+                if (p[d] < vb.smallEnd(d) || p[d] > vb.bigEnd(d)) {
+                    p[d] = std::clamp(vb.bigEnd(d), item.dst_box.smallEnd(d),
+                                      item.dst_box.bigEnd(d));
+                }
+            }
+            m_fabs[item.dst_fab].array()(p.x, p.y, p.z, dcomp) =
+                std::numeric_limits<Real>::quiet_NaN();
+        }
         if (account && !item.local()) {
             CommHooks::notify({item.src_rank, item.dst_rank,
                                item.src_box.numPts() * ncomp *

@@ -1,13 +1,43 @@
 #include "mesh/plotfile.hpp"
 
+#include "core/crc32.hpp"
+#include "core/fault.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace exa {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Remove the staging directory on scope exit unless release()d — keeps
+// failed writes from leaving "<dir>.tmp" litter behind a thrown error.
+class TmpDirGuard {
+public:
+    explicit TmpDirGuard(std::string path) : m_path(std::move(path)) {}
+    ~TmpDirGuard() {
+        if (!m_path.empty()) {
+            std::error_code ec;
+            fs::remove_all(m_path, ec);
+        }
+    }
+    void release() { m_path.clear(); }
+
+private:
+    std::string m_path;
+};
+
+std::string fabPath(const std::string& dir, int lev, std::size_t f) {
+    return dir + "/Level_" + std::to_string(lev) + "/fab_" + std::to_string(f) +
+           ".bin";
+}
+
+} // namespace
 
 std::int64_t writePlotfile(const std::string& dir,
                            const std::vector<const MultiFab*>& state,
@@ -17,11 +47,22 @@ std::int64_t writePlotfile(const std::string& dir,
     if (state.empty() || state.size() != geom.size()) {
         throw std::invalid_argument("writePlotfile: level count mismatch");
     }
-    fs::create_directories(dir);
-    std::int64_t bytes = 0;
+    // Stage everything under <dir>.tmp, rename into place only when every
+    // byte has been written and verified good.
+    const std::string tmp = dir + ".tmp";
+    std::error_code ec;
+    fs::remove_all(tmp, ec);
+    if (!fs::create_directories(tmp)) {
+        throw std::runtime_error("writePlotfile: cannot create " + tmp);
+    }
+    TmpDirGuard cleanup(tmp);
 
-    std::ofstream hdr(dir + "/Header");
-    hdr << "ExaStroPlotfile-1\n";
+    std::int64_t bytes = 0;
+    // The header is accumulated in memory so its own checksum can be
+    // appended at the end; fab payloads are written (and checksummed) as
+    // they stream out.
+    std::ostringstream hdr;
+    hdr << "ExaStroPlotfile-2\n";
     hdr << state.size() << ' ' << state[0]->nComp() << '\n';
     hdr.precision(17);
     hdr << time << ' ' << step << '\n';
@@ -30,15 +71,13 @@ std::int64_t writePlotfile(const std::string& dir,
     for (std::size_t lev = 0; lev < state.size(); ++lev) {
         const MultiFab& mf = *state[lev];
         const Geometry& g = geom[lev];
-        const std::string ldir = dir + "/Level_" + std::to_string(lev);
-        fs::create_directories(ldir);
+        const std::string ldir = tmp + "/Level_" + std::to_string(lev);
+        if (!fs::create_directories(ldir)) {
+            throw std::runtime_error("writePlotfile: cannot create " + ldir);
+        }
         hdr << mf.size() << ' ' << g.domain().length(0) << ' '
             << g.domain().length(1) << ' ' << g.domain().length(2) << '\n';
         for (std::size_t f = 0; f < mf.size(); ++f) {
-            const Box& b = mf.box(static_cast<int>(f));
-            hdr << b.smallEnd(0) << ' ' << b.smallEnd(1) << ' ' << b.smallEnd(2)
-                << ' ' << b.bigEnd(0) << ' ' << b.bigEnd(1) << ' ' << b.bigEnd(2)
-                << '\n';
             // Valid-region payload: the "copy to CPU memory" — ghost zones
             // are never persisted.
             const Box& vb = mf.box(static_cast<int>(f));
@@ -47,12 +86,64 @@ std::int64_t writePlotfile(const std::string& dir,
                                mf.nComp());
             const std::int64_t nbytes =
                 vb.numPts() * mf.nComp() * static_cast<std::int64_t>(sizeof(Real));
-            std::ofstream bin(ldir + "/fab_" + std::to_string(f) + ".bin",
-                              std::ios::binary);
-            bin.write(reinterpret_cast<const char*>(host_copy.dataPtr()), nbytes);
+            const std::uint32_t crc =
+                crc32(host_copy.dataPtr(), static_cast<std::size_t>(nbytes));
+
+            const std::string path =
+                fabPath(tmp, static_cast<int>(lev), f);
+            {
+                std::ofstream bin(path, std::ios::binary);
+                if (!bin) {
+                    throw std::runtime_error("writePlotfile: cannot open " + path);
+                }
+                bin.write(reinterpret_cast<const char*>(host_copy.dataPtr()),
+                          nbytes);
+                bin.flush();
+                if (!bin) {
+                    throw std::runtime_error("writePlotfile: write failed for " +
+                                             path);
+                }
+            }
+            // Injection site: silent media corruption after a successful
+            // write — one bit of the persisted payload flips, which restart
+            // must catch via the CRC recorded above.
+            if (fault::shouldFire(fault::Site::CheckpointBitFlip)) {
+                std::fstream fix(path,
+                                 std::ios::binary | std::ios::in | std::ios::out);
+                char c = 0;
+                fix.read(&c, 1);
+                c = static_cast<char>(c ^ 0x10);
+                fix.seekp(0);
+                fix.write(&c, 1);
+            }
+
+            hdr << vb.smallEnd(0) << ' ' << vb.smallEnd(1) << ' ' << vb.smallEnd(2)
+                << ' ' << vb.bigEnd(0) << ' ' << vb.bigEnd(1) << ' ' << vb.bigEnd(2)
+                << ' ' << nbytes << ' ' << crc << '\n';
             bytes += nbytes;
         }
     }
+
+    const std::string header_body = hdr.str();
+    {
+        std::ofstream out(tmp + "/Header");
+        if (!out) throw std::runtime_error("writePlotfile: cannot open Header");
+        out << header_body;
+        out << "headercrc "
+            << crc32(header_body.data(), header_body.size()) << '\n';
+        out.flush();
+        if (!out) throw std::runtime_error("writePlotfile: Header write failed");
+    }
+
+    // Atomic publish: drop any previous checkpoint of this name, then
+    // rename the fully-written staging directory into place.
+    fs::remove_all(dir, ec);
+    fs::rename(tmp, dir, ec);
+    if (ec) {
+        throw std::runtime_error("writePlotfile: rename " + tmp + " -> " + dir +
+                                 " failed: " + ec.message());
+    }
+    cleanup.release();
     return bytes;
 }
 
@@ -65,28 +156,77 @@ std::int64_t writePlotfile(const std::string& dir, const MultiFab& state,
 }
 
 PlotfileHeader readPlotfileHeader(const std::string& dir) {
-    std::ifstream hdr(dir + "/Header");
-    if (!hdr) throw std::runtime_error("readPlotfileHeader: no Header in " + dir);
+    std::ifstream in(dir + "/Header", std::ios::binary);
+    if (!in) throw std::runtime_error("readPlotfileHeader: no Header in " + dir);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+
     PlotfileHeader out;
+    std::string body = content;
+    // v2 headers end with "headercrc <crc>\n" checksumming everything
+    // before that line; verify before trusting any field.
+    const std::size_t tag = content.rfind("headercrc ");
+    if (tag != std::string::npos &&
+        (tag == 0 || content[tag - 1] == '\n')) {
+        std::istringstream tail(content.substr(tag));
+        std::string word;
+        std::uint32_t stored = 0;
+        tail >> word >> stored;
+        if (!tail) {
+            throw std::runtime_error("readPlotfileHeader: bad headercrc line in " +
+                                     dir);
+        }
+        const std::uint32_t actual = crc32(content.data(), tag);
+        if (actual != stored) {
+            std::ostringstream os;
+            os << "readPlotfileHeader: header checksum mismatch in " << dir
+               << " (stored " << stored << ", computed " << actual << ")";
+            throw std::runtime_error(os.str());
+        }
+        body = content.substr(0, tag);
+    }
+
+    std::istringstream hdr(body);
     std::string magic;
     hdr >> magic;
-    if (magic != "ExaStroPlotfile-1") {
+    if (magic == "ExaStroPlotfile-2") {
+        out.version = 2;
+        if (tag == std::string::npos) {
+            throw std::runtime_error(
+                "readPlotfileHeader: v2 header missing its headercrc line in " +
+                dir + " (truncated write?)");
+        }
+    } else if (magic == "ExaStroPlotfile-1") {
+        out.version = 1;
+    } else {
         throw std::runtime_error("readPlotfileHeader: bad magic " + magic);
     }
+
     hdr >> out.nlevels >> out.ncomp >> out.time >> out.step;
     out.varnames.resize(out.ncomp);
     for (auto& v : out.varnames) hdr >> v;
     out.boxes.resize(out.nlevels);
+    out.fab_bytes.resize(out.nlevels);
+    out.fab_crc.resize(out.nlevels);
     for (int lev = 0; lev < out.nlevels; ++lev) {
         std::size_t nfabs;
         int nx, ny, nz;
         hdr >> nfabs >> nx >> ny >> nz;
         out.boxes[lev].resize(nfabs);
-        for (auto& b : out.boxes[lev]) {
+        out.fab_bytes[lev].assign(nfabs, -1);
+        out.fab_crc[lev].assign(nfabs, 0);
+        for (std::size_t f = 0; f < nfabs; ++f) {
             IntVect lo, hi;
             hdr >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z;
-            b = Box(lo, hi);
+            out.boxes[lev][f] = Box(lo, hi);
+            if (out.version >= 2) {
+                hdr >> out.fab_bytes[lev][f] >> out.fab_crc[lev][f];
+            }
         }
+    }
+    if (!hdr) {
+        throw std::runtime_error("readPlotfileHeader: truncated header in " + dir);
     }
     return out;
 }
@@ -98,21 +238,42 @@ std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state)
         throw std::runtime_error("readPlotfileLevel: BoxArray mismatch");
     }
     std::int64_t bytes = 0;
-    const std::string ldir = dir + "/Level_" + std::to_string(lev);
     for (std::size_t f = 0; f < state.size(); ++f) {
         const Box& vb = state.box(static_cast<int>(f));
-        if (!(vb == h.boxes[lev][f])) {
-            throw std::runtime_error("readPlotfileLevel: box mismatch");
-        }
-        FArrayBox host(vb, state.nComp());
+        const std::string path = fabPath(dir, lev, f);
+        auto fabError = [&](const std::string& why) {
+            std::ostringstream os;
+            os << "readPlotfileLevel: fab " << f << " of level " << lev << " ("
+               << path << "): " << why;
+            return std::runtime_error(os.str());
+        };
+        if (!(vb == h.boxes[lev][f])) throw fabError("box mismatch");
         const std::int64_t nbytes =
             vb.numPts() * state.nComp() * static_cast<std::int64_t>(sizeof(Real));
-        std::ifstream bin(ldir + "/fab_" + std::to_string(f) + ".bin",
-                          std::ios::binary);
-        if (!bin) throw std::runtime_error("readPlotfileLevel: missing fab file");
+        if (h.version >= 2 && h.fab_bytes[lev][f] != nbytes) {
+            std::ostringstream os;
+            os << "payload size mismatch (header says " << h.fab_bytes[lev][f]
+               << " bytes, state needs " << nbytes << ")";
+            throw fabError(os.str());
+        }
+        FArrayBox host(vb, state.nComp());
+        std::ifstream bin(path, std::ios::binary);
+        if (!bin) throw fabError("missing fab file");
         bin.read(reinterpret_cast<char*>(host.dataPtr()), nbytes);
         if (bin.gcount() != nbytes) {
-            throw std::runtime_error("readPlotfileLevel: short read");
+            std::ostringstream os;
+            os << "short read (" << bin.gcount() << " of " << nbytes << " bytes)";
+            throw fabError(os.str());
+        }
+        if (h.version >= 2) {
+            const std::uint32_t actual =
+                crc32(host.dataPtr(), static_cast<std::size_t>(nbytes));
+            if (actual != h.fab_crc[lev][f]) {
+                std::ostringstream os;
+                os << "checksum mismatch (stored " << h.fab_crc[lev][f]
+                   << ", computed " << actual << ") — corrupted payload";
+                throw fabError(os.str());
+            }
         }
         state.fab(static_cast<int>(f)).copyFrom(host, vb, 0, vb, 0, state.nComp());
         bytes += nbytes;

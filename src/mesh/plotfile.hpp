@@ -19,8 +19,23 @@ namespace exa {
 // the bytes staged so callers can charge DeviceModel::transferTime — the
 // copy is explicitly a host *copy*, not a migration ("it involves making
 // a copy to CPU memory, not migrating the data to the CPU").
+//
+// Integrity (format version 2, magic "ExaStroPlotfile-2"):
+//   * every fab payload carries its byte count and CRC32 in the Header;
+//   * the Header itself ends with a "headercrc" line checksumming all
+//     preceding header bytes;
+//   * the whole directory is written to "<dir>.tmp" and atomically renamed
+//     into place, so a crashed or failed write never leaves a directory
+//     that looks like a valid checkpoint;
+//   * every stream operation is checked — a failed write throws instead of
+//     reporting success, and restart verifies sizes and checksums per fab,
+//     naming the fab that failed.
+// Version-1 files (no checksums) are still readable; their payloads are
+// only size-checked.
 
 // Write one level (or several) of state. Returns total payload bytes.
+// Throws std::runtime_error if any part of the write fails; on failure the
+// destination directory is left untouched (no partial checkpoint).
 std::int64_t writePlotfile(const std::string& dir,
                            const std::vector<const MultiFab*>& state,
                            const std::vector<Geometry>& geom,
@@ -35,18 +50,23 @@ std::int64_t writePlotfile(const std::string& dir, const MultiFab& state,
 
 // Metadata read back from a plotfile/checkpoint header.
 struct PlotfileHeader {
+    int version = 0; // 1 = legacy (no checksums), 2 = current
     int nlevels = 0;
     int ncomp = 0;
     Real time = 0.0;
     int step = 0;
     std::vector<std::string> varnames;
-    std::vector<std::vector<Box>> boxes; // per level
+    std::vector<std::vector<Box>> boxes;                 // per level
+    std::vector<std::vector<std::int64_t>> fab_bytes;    // per level (v2)
+    std::vector<std::vector<std::uint32_t>> fab_crc;     // per level (v2)
 };
 
+// Parse and verify the Header (including its own checksum for v2 files).
 PlotfileHeader readPlotfileHeader(const std::string& dir);
 
 // Restart: read level `lev` data into `state`, whose BoxArray must match
-// the file's. Returns bytes read.
+// the file's. Returns bytes read. Throws std::runtime_error naming the
+// offending fab on a missing file, short read, or checksum mismatch.
 std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state);
 
 } // namespace exa

@@ -1,7 +1,10 @@
 #include "microphysics/burner.hpp"
 
+#include "core/fault.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace exa {
 
@@ -32,11 +35,33 @@ void BurnOde::jacobian(Real /*t*/, const std::vector<Real>& y, DenseMatrix& jac)
     m_net.jacobian(m_rho, T, y.data(), cvAt(T, y.data()), jac);
 }
 
+std::string BurnGridStats::describeFailure() const {
+    if (!first_failure.valid) return "";
+    std::ostringstream os;
+    os << "zone (" << first_failure.i << "," << first_failure.j << ","
+       << first_failure.k << ") of fab " << first_failure.fab;
+    if (first_failure.level >= 0) os << " level " << first_failure.level;
+    os << ": rho=" << first_failure.rho << ", T=" << first_failure.T;
+    return os.str();
+}
+
 BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
                     const Real* X, Real dt, const OdeOptions& opt) {
     const int n = net.nspec();
     BurnResult out;
     out.X.resize(n);
+
+    // Injection site: the stiff integrator gives up on this zone. The
+    // pre-burn state is returned unchanged with success=false — exactly
+    // the shape of a real BDF failure, so every caller's failure path
+    // (stats, retry, degradation) is exercised deterministically.
+    if (fault::shouldFire(fault::Site::BurnZoneFailure)) {
+        out.T = T;
+        for (int i = 0; i < n; ++i) out.X[i] = X[i];
+        out.stats.steps = 1;
+        out.success = false;
+        return out;
+    }
 
     std::vector<Real> y(n + 1);
     net.xToY(X, y.data());

@@ -5,6 +5,7 @@
 #include "microphysics/eos.hpp"
 #include "microphysics/network.hpp"
 
+#include <string>
 #include <vector>
 
 namespace exa {
@@ -51,6 +52,18 @@ Real edotOf(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
 Real burningTimescale(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
                       const Real* X);
 
+// Where (and under what conditions) the integrator first gave up, so
+// retry diagnostics and logs can say *where* a burn failed, not just how
+// often. Carried inside BurnGridStats and filled by the grid drivers.
+struct BurnFailureSite {
+    bool valid = false;
+    int i = 0, j = 0, k = 0; // zone index in its level's index space
+    int fab = -1;            // fab within the MultiFab
+    int level = -1;          // AMR level (-1 for single-level drivers)
+    Real rho = 0.0;          // pre-burn thermodynamic state of the zone
+    Real T = 0.0;
+};
+
 // Per-grid burn statistics: the cost nonuniformity across zones that
 // motivates the paper's CPU/GPU hybrid strategy (Section VI).
 struct BurnGridStats {
@@ -58,6 +71,9 @@ struct BurnGridStats {
     std::int64_t total_steps = 0;
     std::int64_t max_steps = 0;
     std::int64_t failures = 0;
+    // First failing zone seen (first-wins across merges, so it names the
+    // earliest failure of the step, coarsest level first).
+    BurnFailureSite first_failure;
     double meanSteps() const {
         return zones > 0 ? static_cast<double>(total_steps) / zones : 0.0;
     }
@@ -65,6 +81,15 @@ struct BurnGridStats {
     double imbalance() const {
         return total_steps > 0 ? static_cast<double>(max_steps) / meanSteps() : 1.0;
     }
+    void merge(const BurnGridStats& o) {
+        zones += o.zones;
+        total_steps += o.total_steps;
+        max_steps = max_steps > o.max_steps ? max_steps : o.max_steps;
+        failures += o.failures;
+        if (!first_failure.valid) first_failure = o.first_failure;
+    }
+    // "zone (i,j,k) of fab F [level L]: rho=..., T=..." (empty when none).
+    std::string describeFailure() const;
 };
 
 // The KernelInfo of a burn launch for an N-species network: per-thread

@@ -1,0 +1,137 @@
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace exa;
+
+namespace {
+
+// Every test leaves the global registry clean.
+struct FaultRegistryTest : ::testing::Test {
+    void SetUp() override { fault::disarmAll(); }
+    void TearDown() override { fault::disarmAll(); }
+};
+
+std::vector<int> firingHits(const fault::Spec& spec, int nhits) {
+    fault::arm(fault::Site::BurnZoneFailure, spec);
+    std::vector<int> fired;
+    for (int h = 0; h < nhits; ++h) {
+        if (fault::shouldFire(fault::Site::BurnZoneFailure)) fired.push_back(h);
+    }
+    fault::disarm(fault::Site::BurnZoneFailure);
+    return fired;
+}
+
+} // namespace
+
+TEST_F(FaultRegistryTest, DisarmedSitesNeverFire) {
+    EXPECT_FALSE(fault::anyArmed());
+    EXPECT_FALSE(fault::armed(fault::Site::BurnZoneFailure));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(fault::shouldFire(fault::Site::BurnZoneFailure));
+    }
+    // Disarmed shouldFire does not even count hits (fast path).
+    EXPECT_EQ(fault::stats(fault::Site::BurnZoneFailure).hits, 0);
+}
+
+TEST_F(FaultRegistryTest, DefaultSpecFiresExactlyFirstHit) {
+    EXPECT_EQ(firingHits(fault::Spec{}, 10), (std::vector<int>{0}));
+}
+
+TEST_F(FaultRegistryTest, WindowRuleFiresStartCountStride) {
+    fault::Spec spec;
+    spec.start = 2;
+    spec.count = 5;
+    spec.stride = 2;
+    // Hits 2..6, every other: 2, 4, 6.
+    EXPECT_EQ(firingHits(spec, 20), (std::vector<int>{2, 4, 6}));
+}
+
+TEST_F(FaultRegistryTest, UnboundedCountFiresForever) {
+    fault::Spec spec;
+    spec.start = 3;
+    spec.count = 0; // unbounded
+    const auto fired = firingHits(spec, 10);
+    EXPECT_EQ(fired, (std::vector<int>{3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST_F(FaultRegistryTest, ProbabilityModeIsDeterministicInSeed) {
+    fault::Spec spec;
+    spec.probability = 0.5;
+    spec.seed = 12345;
+    const auto a = firingHits(spec, 200);
+    const auto b = firingHits(spec, 200);
+    EXPECT_EQ(a, b); // same seed -> identical pattern
+    EXPECT_GT(a.size(), 50u); // ~100 of 200 at p = 0.5
+    EXPECT_LT(a.size(), 150u);
+
+    spec.seed = 54321;
+    EXPECT_NE(firingHits(spec, 200), a); // different seed -> different pattern
+}
+
+TEST_F(FaultRegistryTest, ArmResetsCountersAndStatsReport) {
+    fault::Spec spec;
+    spec.count = 2;
+    fault::arm(fault::Site::HydroNanFlux, spec);
+    for (int i = 0; i < 5; ++i) fault::shouldFire(fault::Site::HydroNanFlux);
+    auto st = fault::stats(fault::Site::HydroNanFlux);
+    EXPECT_TRUE(st.armed);
+    EXPECT_EQ(st.hits, 5);
+    EXPECT_EQ(st.fires, 2);
+
+    fault::arm(fault::Site::HydroNanFlux, spec); // re-arm resets
+    st = fault::stats(fault::Site::HydroNanFlux);
+    EXPECT_EQ(st.hits, 0);
+    EXPECT_EQ(st.fires, 0);
+}
+
+TEST_F(FaultRegistryTest, ScopedFaultArmsAndDisarms) {
+    {
+        fault::ScopedFault f(fault::Site::HaloPayloadCorrupt);
+        EXPECT_TRUE(fault::armed(fault::Site::HaloPayloadCorrupt));
+        EXPECT_TRUE(fault::anyArmed());
+    }
+    EXPECT_FALSE(fault::armed(fault::Site::HaloPayloadCorrupt));
+    EXPECT_FALSE(fault::anyArmed());
+}
+
+TEST_F(FaultRegistryTest, SiteNamesRoundTrip) {
+    for (int i = 0; i < fault::nsites; ++i) {
+        const auto s = static_cast<fault::Site>(i);
+        fault::Site back;
+        ASSERT_TRUE(fault::siteFromName(fault::siteName(s), back));
+        EXPECT_EQ(back, s);
+    }
+    fault::Site out;
+    EXPECT_FALSE(fault::siteFromName("no-such-site", out));
+}
+
+TEST_F(FaultRegistryTest, ConfigureFromStringArmsSites) {
+    std::string err;
+    ASSERT_TRUE(fault::configureFromString(
+        "burn-zone-failure:start=40,count=2;halo-payload-corrupt:prob=0.25,seed=7",
+        &err))
+        << err;
+    EXPECT_TRUE(fault::armed(fault::Site::BurnZoneFailure));
+    EXPECT_TRUE(fault::armed(fault::Site::HaloPayloadCorrupt));
+    auto st = fault::stats(fault::Site::BurnZoneFailure);
+    EXPECT_EQ(st.spec.start, 40);
+    EXPECT_EQ(st.spec.count, 2);
+    auto st2 = fault::stats(fault::Site::HaloPayloadCorrupt);
+    EXPECT_DOUBLE_EQ(st2.spec.probability, 0.25);
+    EXPECT_EQ(st2.spec.seed, 7u);
+}
+
+TEST_F(FaultRegistryTest, ConfigureFromStringRejectsMalformedSpecs) {
+    std::string err;
+    EXPECT_FALSE(fault::configureFromString("definitely-bad-site:count=1", &err));
+    EXPECT_NE(err.find("unknown site"), std::string::npos);
+    EXPECT_FALSE(fault::configureFromString("burn-zone-failure:count", &err));
+    EXPECT_FALSE(fault::configureFromString("burn-zone-failure:count=xyz", &err));
+    EXPECT_FALSE(fault::configureFromString("burn-zone-failure:banana=1", &err));
+    // A bare site name (no spec) arms with the default spec.
+    EXPECT_TRUE(fault::configureFromString("arena-alloc-failure", &err));
+    EXPECT_TRUE(fault::armed(fault::Site::ArenaAllocFailure));
+}
