@@ -111,7 +111,7 @@ int main() {
                 mf.define(lba, ldm, 1, ng);
                 mf.setVal(1.0);
             }
-            mf.FillBoundary(per);
+            mf.FillBoundary(0, mf.nComp(), per);
         }
         const double secs = t.seconds();
         cache.setEnabled(true);

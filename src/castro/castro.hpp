@@ -88,7 +88,14 @@ public:
     void fillGhosts(MultiFab& s);
 
 private:
+    // The physical-boundary half of fillGhosts (domain BCs with odd
+    // momentum reflection); runs after the halo delivery in both the
+    // fused and the split-phase step.
+    void applyPhysBC(MultiFab& s);
     void hydroAdvance(Real dt);
+    // One RK-stage RHS: ghost fill + molRhs, split-phase (interior sweep
+    // overlapping the halo exchange) when comm::asyncHalo() is on.
+    void stageRhs(MultiFab& s, MultiFab& dudt);
     // One unguarded advance of size dt (the pre-guard step body); does not
     // touch m_time/m_nstep.
     BurnGridStats advanceOnce(Real dt);

@@ -83,11 +83,11 @@ void CastroAmr::fillPatchFrom(int lev, const MultiFab& fine_src, MultiFab& dst) 
     if (lev == 0) {
         dst.ParallelCopy(fine_src, 0, 0, m_layout.ncomp(), 0,
                          geom(0).periodicity());
-        dst.FillBoundary(geom(0).periodicity());
+        dst.FillBoundary(0, dst.nComp(), geom(0).periodicity());
     } else {
-        fillPatchTwoLevels(dst, dst.nGrow(), fine_src, m_state[lev - 1],
-                           geom(lev - 1), geom(lev), refRatio(), 0,
-                           m_layout.ncomp());
+        fillPatchTwoLevels(dst, fine_src, m_state[lev - 1], geom(lev - 1),
+                           geom(lev), refRatio(), 0, 0, m_layout.ncomp(),
+                           dst.nGrow());
     }
     applyPhysBC(lev, dst);
 }
@@ -110,8 +110,9 @@ void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
     // Interpolate everything from the coarse level. Passing the (freshly
     // interpolated) level itself as the fine source makes the same-level
     // overwrite pass a no-op self-copy.
-    fillPatchTwoLevels(m_state[lev], 0, m_state[lev], m_state[lev - 1],
-                       geom(lev - 1), geom(lev), refRatio(), 0, m_layout.ncomp());
+    fillPatchTwoLevels(m_state[lev], m_state[lev], m_state[lev - 1],
+                       geom(lev - 1), geom(lev), refRatio(), 0, 0,
+                       m_layout.ncomp());
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
 }
 
@@ -120,8 +121,8 @@ void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
     MultiFab newstate(ba, dm, m_layout.ncomp(), m_opt.ngrow);
     newstate.setVal(0.0);
     // Old same-level data where available, coarse interpolation elsewhere.
-    fillPatchTwoLevels(newstate, 0, m_state[lev], m_state[lev - 1], geom(lev - 1),
-                       geom(lev), refRatio(), 0, m_layout.ncomp());
+    fillPatchTwoLevels(newstate, m_state[lev], m_state[lev - 1], geom(lev - 1),
+                       geom(lev), refRatio(), 0, 0, m_layout.ncomp());
     m_state[lev] = std::move(newstate);
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
 }

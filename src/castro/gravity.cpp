@@ -108,7 +108,7 @@ void Gravity::solvePoisson(const MultiFab& state) {
 
     // g = -grad(phi), central differences; ghost zones of phi were filled
     // by the solver's boundary logic only on its own layout, so refill.
-    m_phi.FillBoundary(m_geom.periodicity());
+    m_phi.FillBoundary(0, m_phi.nComp(), m_geom.periodicity());
     // Dirichlet ghost fill at physical boundaries: phi ~ 0 outside.
     const Geometry geom = m_geom;
     for (std::size_t f = 0; f < m_g.size(); ++f) {

@@ -1,5 +1,6 @@
 #include "castro/hydro.hpp"
 
+#include "core/executor.hpp"
 #include "core/fault.hpp"
 #include "core/parallel_for.hpp"
 
@@ -206,9 +207,9 @@ void hllcFlux(const Real* ql, const Real* qr, int nspec, int dim, Real* flux) {
     }
 }
 
-void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
-            const ReactionNetwork& net, const Eos& eos,
-            std::array<MultiFab, 3>* fluxes, Reconstruction recon) {
+void molRhsRegion(const MultiFab& state, MultiFab& dudt, int fab, const Box& region,
+                  const Geometry& geom, const ReactionNetwork& net, const Eos& eos,
+                  std::array<MultiFab, 3>* fluxes, Reconstruction recon) {
     const int nspec = net.nspec();
     checkKernelSpeciesLimit(nspec);
     const PrimLayout Q(nspec);
@@ -216,10 +217,10 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
     const int nstate = S.ncomp();
     const bool ppm = recon == Reconstruction::PPM;
 
-    for (std::size_t f = 0; f < state.size(); ++f) {
-        const int fi = static_cast<int>(f);
+    {
+        const int fi = fab;
         const Box& vb = state.box(fi);
-        const Box primbox = grow(vb, ppm ? 3 : 2);
+        const Box primbox = grow(region, ppm ? 3 : 2);
 
         FArrayBox qfab(primbox, Q.ncomp());
         conservedToPrimitive(state.const_array(fi), qfab.array(), primbox, net, eos);
@@ -229,7 +230,7 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
         // arena — the per-step scratch pattern of the allocator ablation).
         std::array<FArrayBox, 3> fxfab;
         for (int d = 0; d < 3; ++d) {
-            const Box fb = surroundingFaces(vb, d);
+            const Box fb = surroundingFaces(region, d);
             fxfab[d].define(fb, nstate);
             auto fx = fxfab[d].array();
             const int nsp = nspec;
@@ -277,15 +278,20 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
         const Real dxi = 1.0 / geom.cellSize(0);
         const Real dyi = 1.0 / geom.cellSize(1);
         const Real dzi = 1.0 / geom.cellSize(2);
-        ParallelFor(updateKernel(nspec), vb, nstate, [=](int i, int j, int k, int n) {
+        ParallelFor(updateKernel(nspec), region, nstate,
+                    [=](int i, int j, int k, int n) {
             du(i, j, k, n) = -(fx(i + 1, j, k, n) - fx(i, j, k, n)) * dxi -
                              (fy(i, j + 1, k, n) - fy(i, j, k, n)) * dyi -
                              (fz(i, j, k + 1, n) - fz(i, j, k, n)) * dzi;
         });
         // Injection site: a NaN escapes the flux computation into the
         // update of this fab's first valid zone. Plain host write, after
-        // the launch, so Backend::Debug order replay is unaffected.
-        if (fault::shouldFire(fault::Site::HydroNanFlux)) {
+        // the launch, so Backend::Debug order replay is unaffected. Fired
+        // only by the region holding the fab's first valid zone, so a
+        // region-split sweep consumes exactly one fault-schedule slot per
+        // fab — the same as the fused sweep.
+        if (region.contains(vb.smallEnd()) &&
+            fault::shouldFire(fault::Site::HydroNanFlux)) {
             const IntVect lo = vb.smallEnd();
             dudt.fab(fi).array()(lo.x, lo.y, lo.z, StateLayout::UEDEN) =
                 std::numeric_limits<Real>::quiet_NaN();
@@ -293,10 +299,21 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
 
         if (fluxes != nullptr) {
             for (int d = 0; d < 3; ++d) {
-                const Box fb = surroundingFaces(vb, d);
+                const Box fb = surroundingFaces(region, d);
                 (*fluxes)[d].fab(fi).copyFrom(fxfab[d], fb, 0, fb, 0, nstate);
             }
         }
+    }
+}
+
+void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
+            const ReactionNetwork& net, const Eos& eos,
+            std::array<MultiFab, 3>* fluxes, Reconstruction recon) {
+    StreamScope streams;
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        streams.useFab(f);
+        const int fi = static_cast<int>(f);
+        molRhsRegion(state, dudt, fi, state.box(fi), geom, net, eos, fluxes, recon);
     }
 }
 

@@ -43,6 +43,14 @@ EXA_HOST_DEVICE void ppmEdges(Array4<const Real> q, int i, int j, int k, int n,
 // has StateLayout(nspec).ncomp() entries (the UTEMP slot is set to zero).
 void hllcFlux(const Real* ql, const Real* qr, int nspec, int dim, Real* flux);
 
+// Ghost-zone stencil width of the reconstruction: how far molRhs reads
+// past a region it updates (PLM: 1 face + 1 slope zone; PPM: +-2 around
+// each face). This is the width the interior/boundary partition uses —
+// zones deeper than this inside the valid box never see ghost data.
+inline int stencilWidth(Reconstruction recon) {
+    return recon == Reconstruction::PPM ? 3 : 2;
+}
+
 // Compute dU/dt (the method-of-lines RHS) over each fab's valid box from
 // state ghosts already filled. Returns fluxes per dimension if `fluxes`
 // is non-null (face-indexed MultiFabs, for refluxing/conservation checks).
@@ -50,6 +58,18 @@ void molRhs(const MultiFab& state, MultiFab& dudt, const Geometry& geom,
             const ReactionNetwork& net, const Eos& eos,
             std::array<MultiFab, 3>* fluxes = nullptr,
             Reconstruction recon = Reconstruction::PLM);
+
+// Region-restricted RHS: the same kernels, evaluated only over `region`
+// (a subset of fab `fab`'s valid box), reading state over
+// grow(region, stencilWidth(recon)). Sweeping any disjoint cover of the
+// valid box — e.g. a CopierCache interior partition's interior box while
+// a halo exchange is in flight, then the boundary shell after finish() —
+// reproduces the fused molRhs bit-for-bit, because every zone's update is
+// a pure function of the input state.
+void molRhsRegion(const MultiFab& state, MultiFab& dudt, int fab, const Box& region,
+                  const Geometry& geom, const ReactionNetwork& net, const Eos& eos,
+                  std::array<MultiFab, 3>* fluxes = nullptr,
+                  Reconstruction recon = Reconstruction::PLM);
 
 // CFL timestep: min over zones of dx_d / (|u_d| + cs).
 Real estimateDt(const MultiFab& state, const Geometry& geom,

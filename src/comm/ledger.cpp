@@ -6,12 +6,14 @@ namespace exa {
 
 void CommLedger::attach() {
     CommHooks::setMessageHook([this](const MessageRecord& r) { record(r); });
+    CommHooks::setHaloHook([this](const HaloEvent& e) { recordHalo(e); });
     m_attached = true;
 }
 
 void CommLedger::detach() {
     if (m_attached) {
         CommHooks::clearMessageHook();
+        CommHooks::clearHaloHook();
         m_attached = false;
     }
 }
@@ -23,6 +25,20 @@ void CommLedger::record(const MessageRecord& r) {
     m_total_bytes += r.bytes;
     ++m_total_msgs;
     m_tag_bytes[r.tag] += r.bytes;
+    // finish() delivers its MessageRecords before it fires the Finished
+    // event, so messages belonging to a split-phase exchange arrive while
+    // that exchange is still counted in flight.
+    if (m_halos_in_flight > 0) ++m_split_phase_msgs;
+}
+
+void CommLedger::recordHalo(const HaloEvent& e) {
+    if (e.phase == HaloPhase::Posted) {
+        ++m_halos_posted;
+        ++m_halos_in_flight;
+        m_max_halos_in_flight = std::max(m_max_halos_in_flight, m_halos_in_flight);
+    } else if (m_halos_in_flight > 0) {
+        --m_halos_in_flight;
+    }
 }
 
 void CommLedger::reset() {
@@ -30,6 +46,10 @@ void CommLedger::reset() {
     m_tag_bytes.clear();
     m_total_bytes = 0;
     m_total_msgs = 0;
+    m_halos_posted = 0;
+    m_halos_in_flight = 0;
+    m_max_halos_in_flight = 0;
+    m_split_phase_msgs = 0;
 }
 
 std::int64_t CommLedger::bytesWithTag(const std::string& tag) const {

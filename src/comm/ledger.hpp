@@ -25,11 +25,22 @@ public:
     ~CommLedger() { detach(); }
 
     void record(const MessageRecord& r);
+    void recordHalo(const HaloEvent& e);
     void reset();
 
     std::int64_t totalBytes() const { return m_total_bytes; }
     std::int64_t totalMessages() const { return m_total_msgs; }
     std::int64_t bytesWithTag(const std::string& tag) const;
+
+    // Split-phase exchange tracking (HaloEvent hook): how many handles
+    // were posted, how many are currently between post and finish, the
+    // high-water mark of concurrent in-flight exchanges, and how many
+    // MessageRecords were delivered by a finish() (i.e. overlapped with
+    // interior compute rather than blocking the step).
+    std::int64_t halosPosted() const { return m_halos_posted; }
+    std::int64_t halosInFlight() const { return m_halos_in_flight; }
+    std::int64_t maxHalosInFlight() const { return m_max_halos_in_flight; }
+    std::int64_t splitPhaseMessages() const { return m_split_phase_msgs; }
 
     // Bytes that would cross the node boundary under the given layout.
     std::int64_t offNodeBytes(const RankLayout& layout) const;
@@ -47,6 +58,10 @@ private:
     std::map<std::string, std::int64_t> m_tag_bytes;
     std::int64_t m_total_bytes = 0;
     std::int64_t m_total_msgs = 0;
+    std::int64_t m_halos_posted = 0;
+    std::int64_t m_halos_in_flight = 0;
+    std::int64_t m_max_halos_in_flight = 0;
+    std::int64_t m_split_phase_msgs = 0;
     bool m_attached = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include "core/box.hpp"
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -48,6 +49,9 @@ struct KernelInfo {
     // uniform). The burn driver sets this for igniting zones.
     double work_imbalance = 1.0;
 
+    // `bytes` is per zone *and per component*: the device model multiplies
+    // a launch's zone count by its ncomp, so callers that pass ncomp to
+    // ParallelFor must not fold it into the byte count as well.
     static KernelInfo streaming(const char* nm, double bytes) {
         return KernelInfo{nm, bytes / 4.0, bytes, 48, 1.0};
     }
@@ -98,6 +102,35 @@ private:
     static LaunchHook s_hook;
     static int s_num_streams;
     static int s_current_stream;
+};
+
+// Exception-safe stream selection: captures the current stream on entry
+// and restores it on scope exit, replacing the manual
+// setCurrentStream(...) / restore call pairs that used to bracket
+// MultiFab-wide ops and driver loops (and leaked the stream on early
+// return or throw). `setCurrentStream` remains the primitive underneath;
+// this guard is the supported way to change streams for a region of code.
+class StreamScope {
+public:
+    StreamScope() : m_saved(ExecConfig::currentStream()) {}
+    // Convenience: enter the scope already on stream `s`.
+    explicit StreamScope(int s) : StreamScope() { use(s); }
+    ~StreamScope() { ExecConfig::setCurrentStream(m_saved); }
+    StreamScope(const StreamScope&) = delete;
+    StreamScope& operator=(const StreamScope&) = delete;
+
+    // Select an explicit stream.
+    void use(int s) { ExecConfig::setCurrentStream(s); }
+    // Round-robin the stream over fab indices — the MFIter::syncStream
+    // policy — so per-box launches of MultiFab-wide ops can overlap in
+    // the device model.
+    void useFab(std::size_t fab) {
+        ExecConfig::setCurrentStream(
+            static_cast<int>(fab % static_cast<std::size_t>(ExecConfig::numStreams())));
+    }
+
+private:
+    int m_saved;
 };
 
 // RAII helper: set a backend for a scope, restore on exit.

@@ -94,6 +94,9 @@ private:
     BurnGridStats advanceOnce(Real dt);
     ValidationReport validate(const BurnGridStats& burn) const;
     void fillGhosts(MultiFab& s);
+    // The physical-boundary half of fillGhosts; runs after the halo
+    // delivery in both the fused and the split-phase advect.
+    void applyPhysBC(MultiFab& s);
 
     Geometry m_geom;
     const ReactionNetwork& m_net;

@@ -4,6 +4,7 @@ namespace exa {
 
 namespace {
 MessageHook g_hook;
+HaloHook g_halo_hook;
 }
 
 void CommHooks::setMessageHook(MessageHook h) { g_hook = std::move(h); }
@@ -12,5 +13,12 @@ void CommHooks::notify(const MessageRecord& r) {
     if (g_hook) g_hook(r);
 }
 bool CommHooks::active() { return static_cast<bool>(g_hook); }
+
+void CommHooks::setHaloHook(HaloHook h) { g_halo_hook = std::move(h); }
+void CommHooks::clearHaloHook() { g_halo_hook = nullptr; }
+void CommHooks::notifyHalo(const HaloEvent& e) {
+    if (g_halo_hook) g_halo_hook(e);
+}
+bool CommHooks::haloActive() { return static_cast<bool>(g_halo_hook); }
 
 } // namespace exa

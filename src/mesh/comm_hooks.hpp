@@ -19,6 +19,22 @@ struct MessageRecord {
 
 using MessageHook = std::function<void(const MessageRecord&)>;
 
+// Lifecycle of one split-phase halo exchange (HaloHandle). Posted fires
+// when FillBoundary_nowait/ParallelCopy_nowait stages the plan's pack
+// work; Finished fires after finish() has delivered every item and
+// reported its MessageRecords. The ledger uses the pair to track how many
+// exchanges are in flight — the overlap the async step loop is buying.
+enum class HaloPhase { Posted, Finished };
+
+struct HaloEvent {
+    HaloPhase phase = HaloPhase::Posted;
+    const char* tag = "";     // same tag as the MessageRecords it brackets
+    std::int64_t items = 0;   // plan items in the exchange
+    std::int64_t bytes = 0;   // off-rank payload bytes of the plan
+};
+
+using HaloHook = std::function<void(const HaloEvent&)>;
+
 // Process-global sink for message records (mirrors ExecConfig's launch
 // hook). Registered by the comm/perf layer; cheap no-op when absent.
 class CommHooks {
@@ -27,6 +43,12 @@ public:
     static void clearMessageHook();
     static void notify(const MessageRecord& r);
     static bool active();
+
+    // Split-phase halo lifecycle events (posted / finished).
+    static void setHaloHook(HaloHook h);
+    static void clearHaloHook();
+    static void notifyHalo(const HaloEvent& e);
+    static bool haloActive();
 };
 
 } // namespace exa

@@ -213,6 +213,51 @@ CopierCache::PlanPtr CopierCache::getOrBuild(const CopierKey& key, bool cacheabl
     return plan;
 }
 
+CopierCache::PartitionPtr CopierCache::interiorPartition(const BoxArray& ba,
+                                                         int stencil) {
+    const PartitionKey key{ba.id(), stencil};
+    const bool cacheable = ba.id() != 0;
+    {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        if (m_enabled && cacheable) {
+            auto it = m_partitions.find(key);
+            if (it != m_partitions.end()) {
+                ++m_partition_hits;
+                return it->second;
+            }
+        }
+        ++m_partition_misses;
+    }
+    PartitionPtr part = buildInteriorPartition(ba, stencil);
+    if (cacheable) {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        if (m_enabled) m_partitions.emplace(key, part);
+    }
+    return part;
+}
+
+CopierCache::PartitionPtr CopierCache::buildInteriorPartition(const BoxArray& ba,
+                                                              int stencil) {
+    auto part = std::make_shared<PartitionPlan>();
+    part->stencil = stencil;
+    part->fabs.resize(ba.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        const Box& vb = ba[i];
+        FabRegions& fr = part->fabs[i];
+        const Box interior = grow(vb, -stencil);
+        if (interior.ok()) {
+            fr.interior = interior;
+            fr.shell = boxDiff(vb, interior);
+        } else {
+            // Box thinner than 2*stencil in some direction: everything is
+            // boundary shell. fr.interior stays default-constructed
+            // (empty), which callers must skip.
+            fr.shell = {vb};
+        }
+    }
+    return part;
+}
+
 CopierCache::Stats CopierCache::stats() const {
     std::lock_guard<std::mutex> lk(m_mutex);
     Stats s;
@@ -221,12 +266,16 @@ CopierCache::Stats CopierCache::stats() const {
     s.evictions = m_evictions;
     s.plans = m_map.size();
     s.build_seconds = m_build_seconds;
+    s.partition_hits = m_partition_hits;
+    s.partition_misses = m_partition_misses;
+    s.partitions = m_partitions.size();
     return s;
 }
 
 void CopierCache::resetStats() {
     std::lock_guard<std::mutex> lk(m_mutex);
     m_hits = m_misses = m_evictions = 0;
+    m_partition_hits = m_partition_misses = 0;
     m_build_seconds = 0.0;
 }
 
@@ -234,6 +283,7 @@ void CopierCache::clear() {
     std::lock_guard<std::mutex> lk(m_mutex);
     m_map.clear();
     m_lru.clear();
+    m_partitions.clear();
 }
 
 std::size_t CopierCache::capacity() const {

@@ -44,6 +44,23 @@ struct CopyPlan {
     std::int64_t offrank_zones = 0; // zones crossing simulated ranks
 };
 
+// Interior/boundary partition of one fab's valid region at a given
+// stencil width: `interior` is the largest box whose stencils of that
+// width never read a ghost zone, and `shell` is the disjoint cover of
+// the rest of the valid box (up to 6 boxes from boxDiff). The async step
+// loop sweeps `interior` while the halo exchange is in flight and the
+// `shell` after finish(). A box too small to have an interior gets an
+// empty interior and its whole valid box as the shell.
+struct FabRegions {
+    Box interior;
+    std::vector<Box> shell;
+};
+
+struct PartitionPlan {
+    int stencil = 0;
+    std::vector<FabRegions> fabs;
+};
+
 enum class CopierKind : int { FillBoundary = 0, ParallelCopy = 1, AverageDown = 2 };
 
 struct CopierKey {
@@ -95,12 +112,25 @@ public:
     static PlanPtr buildAverageDown(const BoxArray& crse_ba, const BoxArray& fine_ba,
                                     int ratio);
 
+    using PartitionPtr = std::shared_ptr<const PartitionPlan>;
+
+    // Memoized interior/boundary partition of every fab of `ba` at the
+    // given stencil width. Cached in its own table with its own counters
+    // (partition_* in Stats) so the exact hit/miss accounting of the copy
+    // plans is untouched.
+    PartitionPtr interiorPartition(const BoxArray& ba, int stencil);
+    // Uncached builder (the cold path).
+    static PartitionPtr buildInteriorPartition(const BoxArray& ba, int stencil);
+
     struct Stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t plans = 0;       // currently resident
         double build_seconds = 0.0;  // cumulative cold plan-build time
+        std::uint64_t partition_hits = 0;
+        std::uint64_t partition_misses = 0;
+        std::size_t partitions = 0;  // currently resident partition plans
     };
     Stats stats() const;
     void resetStats();
@@ -125,10 +155,24 @@ private:
         PlanPtr plan;
     };
 
+    struct PartitionKey {
+        std::uint64_t ba = 0;
+        int stencil = 0;
+        bool operator==(const PartitionKey&) const = default;
+    };
+    struct PartitionKeyHash {
+        std::size_t operator()(const PartitionKey& k) const {
+            return std::hash<std::uint64_t>{}(k.ba) ^
+                   (std::hash<int>{}(k.stencil) * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+
     mutable std::mutex m_mutex;
     std::list<Entry> m_lru; // front = most recently used
     std::unordered_map<CopierKey, std::list<Entry>::iterator, CopierKeyHash> m_map;
+    std::unordered_map<PartitionKey, PartitionPtr, PartitionKeyHash> m_partitions;
     std::uint64_t m_hits = 0, m_misses = 0, m_evictions = 0;
+    std::uint64_t m_partition_hits = 0, m_partition_misses = 0;
     double m_build_seconds = 0.0;
     std::size_t m_capacity = 128;
     bool m_enabled = true;

@@ -61,7 +61,7 @@ void FArrayBox::setVal(Real v) {
 void FArrayBox::setVal(Real v, const Box& region, int comp, int ncomp) {
     auto a = array();
     const Box b = region & m_box;
-    ParallelFor(KernelInfo::streaming("fab_setval", 8.0 * ncomp), b, ncomp,
+    ParallelFor(KernelInfo::streaming("fab_setval", 8.0), b, ncomp,
                 [=](int i, int j, int k, int n) { a(i, j, k, comp + n) = v; });
 }
 
@@ -72,7 +72,7 @@ void FArrayBox::copyFrom(const FArrayBox& src, const Box& srcbox, int scomp,
     auto d = array();
     auto s = src.const_array();
     const IntVect off = srcbox.smallEnd() - dstbox.smallEnd();
-    ParallelFor(KernelInfo::streaming("fab_copy", 16.0 * ncomp), dstbox, ncomp,
+    ParallelFor(KernelInfo::streaming("fab_copy", 16.0), dstbox, ncomp,
                 [=](int i, int j, int k, int n) {
                     d(i, j, k, dcomp + n) = s(i + off.x, j + off.y, k + off.z, scomp + n);
                 });
@@ -81,14 +81,14 @@ void FArrayBox::copyFrom(const FArrayBox& src, const Box& srcbox, int scomp,
 void FArrayBox::plus(Real v, const Box& region, int comp, int ncomp) {
     auto a = array();
     const Box b = region & m_box;
-    ParallelFor(KernelInfo::streaming("fab_plus", 16.0 * ncomp), b, ncomp,
+    ParallelFor(KernelInfo::streaming("fab_plus", 16.0), b, ncomp,
                 [=](int i, int j, int k, int n) { a(i, j, k, comp + n) += v; });
 }
 
 void FArrayBox::mult(Real v, const Box& region, int comp, int ncomp) {
     auto a = array();
     const Box b = region & m_box;
-    ParallelFor(KernelInfo::streaming("fab_mult", 16.0 * ncomp), b, ncomp,
+    ParallelFor(KernelInfo::streaming("fab_mult", 16.0), b, ncomp,
                 [=](int i, int j, int k, int n) { a(i, j, k, comp + n) *= v; });
 }
 
@@ -97,7 +97,7 @@ void FArrayBox::saxpy(Real a, const FArrayBox& src, const Box& region, int scomp
     auto d = array();
     auto s = src.const_array();
     const Box b = region & m_box & src.box();
-    ParallelFor(KernelInfo::streaming("fab_saxpy", 24.0 * ncomp), b, ncomp,
+    ParallelFor(KernelInfo::streaming("fab_saxpy", 24.0), b, ncomp,
                 [=](int i, int j, int k, int n) {
                     d(i, j, k, dcomp + n) += a * s(i, j, k, scomp + n);
                 });

@@ -24,7 +24,7 @@ EXA_FORCE_INLINE Real limited_slope(Array4<const Real> c, int i, int j, int k, i
 
 void pcInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_region,
               int ratio, int scomp, int dcomp, int ncomp) {
-    ParallelFor(KernelInfo::streaming("interp_pc", 16.0 * ncomp), fine_region, ncomp,
+    ParallelFor(KernelInfo::streaming("interp_pc", 16.0), fine_region, ncomp,
                 [=](int i, int j, int k, int n) {
         fine(i, j, k, dcomp + n) = crse(coarsen_index(i, ratio), coarsen_index(j, ratio),
                                         coarsen_index(k, ratio), scomp + n);
@@ -35,7 +35,7 @@ void conslinInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_r
                    int ratio, int scomp, int dcomp, int ncomp) {
     const Real r = static_cast<Real>(ratio);
     // 7-point coarse stencil read + 1 fine write per zone.
-    ParallelFor(KernelInfo::streaming("interp_conslin", 64.0 * ncomp), fine_region,
+    ParallelFor(KernelInfo::streaming("interp_conslin", 64.0), fine_region,
                 ncomp, [=](int i, int j, int k, int n) {
         const int ic = coarsen_index(i, ratio);
         const int jc = coarsen_index(j, ratio);
@@ -60,7 +60,7 @@ void averageDown(MultiFab& crse, const MultiFab& fine, int ratio, int scomp,
     const auto plan = CopierCache::instance().averageDown(crse.boxArray(),
                                                           fine.boxArray(), ratio);
     const KernelInfo info =
-        KernelInfo::streaming("avg_down", (ratio * ratio * ratio + 1) * 8.0 * ncomp);
+        KernelInfo::streaming("avg_down", (ratio * ratio * ratio + 1) * 8.0);
     for (const CopyItem& item : plan->items) {
         auto c = crse.array(item.dst_fab);
         auto f = fine.const_array(item.src_fab);
@@ -76,16 +76,16 @@ void averageDown(MultiFab& crse, const MultiFab& fine, int ratio, int scomp,
     }
 }
 
-void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
-                        const MultiFab& crse_src, const Geometry& crse_geom,
-                        const Geometry& fine_geom, int ratio, int scomp, int ncomp) {
-    assert(ng <= dst.nGrow());
-    (void)crse_geom;
-    // Step 1: interpolate everywhere from the coarse level. We build a
-    // scratch coarse fab around each destination region so the slope
-    // stencil has data, filled by ParallelCopy from the coarse level.
+namespace {
+
+// Step 1 of fillPatchTwoLevels: interpolate everywhere from the coarse
+// level. We build a scratch coarse fab around each destination region so
+// the slope stencil has data, filled by copies from the coarse level.
+void interpFromCoarse(MultiFab& dst, const MultiFab& crse_src,
+                      const Geometry& crse_geom, int ratio, int scomp, int dcomp,
+                      int ncomp, int dst_ng) {
     for (std::size_t i = 0; i < dst.size(); ++i) {
-        const Box fdst = grow(dst.box(static_cast<int>(i)), ng);
+        const Box fdst = grow(dst.box(static_cast<int>(i)), dst_ng);
         Box cbox = coarsen(fdst, ratio);
         cbox.grow(1); // slope stencil
         FArrayBox ctmp(cbox, ncomp);
@@ -106,12 +106,40 @@ void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
                               ncomp);
             }
         }
-        conslinInterp(dst.array(static_cast<int>(i)), ctmp.const_array(), fdst, ratio, 0,
-                      scomp, ncomp);
+        conslinInterp(dst.array(static_cast<int>(i)), ctmp.const_array(), fdst, ratio,
+                      0, dcomp, ncomp);
     }
-    // Step 2: overwrite with same-level data wherever the fine source
-    // covers the destination (valid regions + periodic images).
-    dst.ParallelCopy(fine_src, scomp, scomp, ncomp, ng, fine_geom.periodicity());
+}
+
+} // namespace
+
+void fillPatchTwoLevels(MultiFab& dst, const MultiFab& fine_src,
+                        const MultiFab& crse_src, const Geometry& crse_geom,
+                        const Geometry& fine_geom, int ratio, int scomp, int dcomp,
+                        int ncomp, int dst_ng) {
+    assert(dst_ng <= dst.nGrow());
+    // When dst aliases fine_src (MakeNewLevelFromCoarse's no-op self-copy
+    // idiom) posting first would pack pre-interpolation data; keep the
+    // fused order in that case.
+    if (comm::asyncHalo() && &dst != &fine_src) {
+        // Post the same-level overwrite first: the payload (fine_src valid
+        // regions) is packed now, the interpolation loop runs while the
+        // copy is "in flight", and finish() delivers the fine data on top
+        // of the freshly interpolated zones — the same final state, and
+        // accounting, as the fused order below.
+        comm::HaloHandle halo = dst.ParallelCopy_nowait(
+            fine_src, scomp, dcomp, ncomp, dst_ng, fine_geom.periodicity());
+        interpFromCoarse(dst, crse_src, crse_geom, ratio, scomp, dcomp, ncomp,
+                         dst_ng);
+        halo.finish();
+    } else {
+        interpFromCoarse(dst, crse_src, crse_geom, ratio, scomp, dcomp, ncomp,
+                         dst_ng);
+        // Overwrite with same-level data wherever the fine source covers
+        // the destination (valid regions + periodic images).
+        dst.ParallelCopy(fine_src, scomp, dcomp, ncomp, dst_ng,
+                         fine_geom.periodicity());
+    }
 }
 
 } // namespace exa

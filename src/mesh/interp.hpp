@@ -26,12 +26,31 @@ void conslinInterp(Array4<Real> fine, Array4<const Real> crse, const Box& fine_r
 void averageDown(MultiFab& crse, const MultiFab& fine, int ratio, int scomp,
                  int dcomp, int ncomp);
 
-// Fill dst (valid + ng ghost zones) at the fine level: copy same-level
-// data from `fine_src` where available, and interpolate from `crse_src`
-// everywhere else (conservative linear). `crse_src` must have enough ghost
-// zones filled to support the stencil. Periodic images are honored.
-void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
+// Fill dst (valid + dst_ng ghost zones) at the fine level: copy
+// same-level data from `fine_src` where available, and interpolate from
+// `crse_src` everywhere else (conservative linear). `crse_src` must have
+// enough ghost zones filled to support the stencil. Periodic images are
+// honored (the coarse/fine Geometries supply the periodicity, so unlike
+// FillBoundary/ParallelCopy there is no trailing Periodicity parameter).
+//
+// Canonical comm signature: components in (scomp, dcomp, ncomp) order —
+// read src levels at scomp, write dst at dcomp — then the ghost width.
+// When the split-phase machinery is on, the fine-level overwrite is
+// posted before the coarse interpolation loop and finished after it, so
+// the same-level copy is in flight while the interpolation runs.
+void fillPatchTwoLevels(MultiFab& dst, const MultiFab& fine_src,
                         const MultiFab& crse_src, const Geometry& crse_geom,
-                        const Geometry& fine_geom, int ratio, int scomp, int ncomp);
+                        const Geometry& fine_geom, int ratio, int scomp, int dcomp,
+                        int ncomp, int dst_ng = 0);
+
+[[deprecated("use fillPatchTwoLevels(dst, fine_src, crse_src, crse_geom, "
+             "fine_geom, ratio, scomp, dcomp, ncomp, dst_ng)")]]
+inline void fillPatchTwoLevels(MultiFab& dst, int ng, const MultiFab& fine_src,
+                               const MultiFab& crse_src, const Geometry& crse_geom,
+                               const Geometry& fine_geom, int ratio, int scomp,
+                               int ncomp) {
+    fillPatchTwoLevels(dst, fine_src, crse_src, crse_geom, fine_geom, ratio, scomp,
+                       scomp, ncomp, ng);
+}
 
 } // namespace exa

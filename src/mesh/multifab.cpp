@@ -13,27 +13,6 @@
 
 namespace exa {
 
-namespace {
-
-// Round-robin the simulated CUDA stream over fabs — the same policy as
-// MFIter::syncStream — so the device model can overlap the per-box kernels
-// of MultiFab-wide ops. Restores stream 0 on scope exit.
-class FabStreams {
-public:
-    FabStreams() : m_n(ExecConfig::numStreams()) {}
-    ~FabStreams() { ExecConfig::setCurrentStream(0); }
-    FabStreams(const FabStreams&) = delete;
-    FabStreams& operator=(const FabStreams&) = delete;
-    void use(std::size_t fab) const {
-        ExecConfig::setCurrentStream(static_cast<int>(fab % m_n));
-    }
-
-private:
-    std::size_t m_n;
-};
-
-} // namespace
-
 MultiFab::MultiFab(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
                    int ngrow, Arena* arena) {
     define(ba, dm, ncomp, ngrow, arena);
@@ -62,63 +41,69 @@ void MultiFab::clear() {
 }
 
 void MultiFab::setVal(Real v) {
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         m_fabs[i].setVal(v);
     }
 }
 
 void MultiFab::setVal(Real v, int comp, int ncomp, int ngrow) {
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         m_fabs[i].setVal(v, grow(m_ba[i], ngrow), comp, ncomp);
+    }
+}
+
+void MultiFab::deliverItemTail(const CopyItem& item, int dcomp, int ncomp,
+                               bool account, const char* tag) {
+    // Injection site: a corrupted message payload — one value of the
+    // just-delivered region becomes NaN, as if the wire flipped bits.
+    // The poisoned zone is the one nearest the receiving fab's valid
+    // box, so a ghost-fill corruption actually feeds the stencils that
+    // read it. Plain host write (not a launch) so Backend::Debug's
+    // replay passes see identical state.
+    if (fault::shouldFire(fault::Site::HaloPayloadCorrupt)) {
+        const Box& vb = m_ba[item.dst_fab];
+        IntVect p;
+        for (int d = 0; d < 3; ++d) {
+            p[d] = std::clamp(vb.smallEnd(d), item.dst_box.smallEnd(d),
+                              item.dst_box.bigEnd(d));
+            if (p[d] < vb.smallEnd(d) || p[d] > vb.bigEnd(d)) {
+                p[d] = std::clamp(vb.bigEnd(d), item.dst_box.smallEnd(d),
+                                  item.dst_box.bigEnd(d));
+            }
+        }
+        m_fabs[item.dst_fab].array()(p.x, p.y, p.z, dcomp) =
+            std::numeric_limits<Real>::quiet_NaN();
+    }
+    if (account && !item.local()) {
+        CommHooks::notify({item.src_rank, item.dst_rank,
+                           item.src_box.numPts() * ncomp *
+                               static_cast<int>(sizeof(Real)),
+                           tag});
     }
 }
 
 void MultiFab::copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp,
                             int dcomp, int ncomp, const char* tag) {
     const bool account = CommHooks::active();
-    FabStreams streams;
+    StreamScope streams;
     for (const CopyItem& item : plan.items) {
-        streams.use(static_cast<std::size_t>(item.dst_fab));
+        streams.useFab(static_cast<std::size_t>(item.dst_fab));
         m_fabs[item.dst_fab].copyFrom(src.m_fabs[item.src_fab], item.src_box, scomp,
                                       item.dst_box, dcomp, ncomp);
-        // Injection site: a corrupted message payload — one value of the
-        // just-delivered region becomes NaN, as if the wire flipped bits.
-        // The poisoned zone is the one nearest the receiving fab's valid
-        // box, so a ghost-fill corruption actually feeds the stencils that
-        // read it. Plain host write (not a launch) so Backend::Debug's
-        // replay passes see identical state.
-        if (fault::shouldFire(fault::Site::HaloPayloadCorrupt)) {
-            const Box& vb = m_ba[item.dst_fab];
-            IntVect p;
-            for (int d = 0; d < 3; ++d) {
-                p[d] = std::clamp(vb.smallEnd(d), item.dst_box.smallEnd(d),
-                                  item.dst_box.bigEnd(d));
-                if (p[d] < vb.smallEnd(d) || p[d] > vb.bigEnd(d)) {
-                    p[d] = std::clamp(vb.bigEnd(d), item.dst_box.smallEnd(d),
-                                      item.dst_box.bigEnd(d));
-                }
-            }
-            m_fabs[item.dst_fab].array()(p.x, p.y, p.z, dcomp) =
-                std::numeric_limits<Real>::quiet_NaN();
-        }
-        if (account && !item.local()) {
-            CommHooks::notify({item.src_rank, item.dst_rank,
-                               item.src_box.numPts() * ncomp *
-                                   static_cast<int>(sizeof(Real)),
-                               tag});
-        }
+        deliverItemTail(item, dcomp, ncomp, account, tag);
     }
 }
 
-void MultiFab::FillBoundary(const Periodicity& period) {
+void MultiFab::FillBoundary(int scomp, int ncomp, const Periodicity& period) {
+    assert(scomp + ncomp <= m_ncomp);
     if (m_fabs.empty()) return;
     const auto plan =
         CopierCache::instance().fillBoundary(m_ba, m_dm, m_ngrow, period);
-    copyFromPlan(*plan, *this, 0, 0, m_ncomp, "fillboundary");
+    copyFromPlan(*plan, *this, scomp, scomp, ncomp, "fillboundary");
 }
 
 void MultiFab::ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
@@ -128,6 +113,11 @@ void MultiFab::ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp
     const auto plan = CopierCache::instance().parallelCopy(
         m_ba, m_dm, src.m_ba, src.m_dm, dst_ng, period);
     copyFromPlan(*plan, src, scomp, dcomp, ncomp, "parallelcopy");
+}
+
+void MultiFab::ParallelCopy(const MultiFab& src, const Periodicity& period) {
+    assert(m_ncomp == src.m_ncomp);
+    ParallelCopy(src, 0, 0, m_ncomp, 0, period);
 }
 
 Real MultiFab::sum(int comp) const {
@@ -173,25 +163,25 @@ Real MultiFab::norm2(int comp) const {
 
 void MultiFab::saxpy(Real a, const MultiFab& x, int scomp, int dcomp, int ncomp) {
     assert(m_ba == x.m_ba);
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         m_fabs[i].saxpy(a, x.m_fabs[i], m_ba[i], scomp, dcomp, ncomp);
     }
 }
 
 void MultiFab::plus(Real v, int comp, int ncomp) {
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         m_fabs[i].plus(v, m_ba[i], comp, ncomp);
     }
 }
 
 void MultiFab::mult(Real v, int comp, int ncomp) {
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         m_fabs[i].mult(v, m_ba[i], comp, ncomp);
     }
 }
@@ -200,9 +190,9 @@ void MultiFab::Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
                     int ncomp, int ng) {
     assert(dst.m_ba == src.m_ba);
     assert(ng <= dst.nGrow() && ng <= src.nGrow());
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         const Box region = grow(dst.m_ba[i], ng);
         dst.m_fabs[i].copyFrom(src.m_fabs[i], region, scomp, region, dcomp, ncomp);
     }
@@ -211,13 +201,13 @@ void MultiFab::Copy(MultiFab& dst, const MultiFab& src, int scomp, int dcomp,
 void MultiFab::LinComb(MultiFab& dst, Real a, const MultiFab& x, Real b,
                        const MultiFab& y, int comp, int ncomp) {
     assert(dst.m_ba == x.m_ba && dst.m_ba == y.m_ba);
-    FabStreams streams;
+    StreamScope streams;
     for (std::size_t i = 0; i < dst.m_fabs.size(); ++i) {
-        streams.use(i);
+        streams.useFab(i);
         auto d = dst.m_fabs[i].array();
         auto xa = x.m_fabs[i].const_array();
         auto ya = y.m_fabs[i].const_array();
-        ParallelFor(KernelInfo::streaming("mf_lincomb", 24.0 * ncomp), dst.m_ba[i],
+        ParallelFor(KernelInfo::streaming("mf_lincomb", 24.0), dst.m_ba[i],
                     ncomp, [=](int ii, int j, int k, int n) {
             d(ii, j, k, comp + n) = a * xa(ii, j, k, comp + n) + b * ya(ii, j, k, comp + n);
         });

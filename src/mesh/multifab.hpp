@@ -1,5 +1,6 @@
 #pragma once
 
+#include "comm/halo_handle.hpp"
 #include "core/arena.hpp"
 #include "mesh/box_array.hpp"
 #include "mesh/distribution.hpp"
@@ -11,6 +12,7 @@
 namespace exa {
 
 struct CopyPlan;
+struct CopyItem;
 
 // The central data structure of the framework: fluid state at one level of
 // refinement, distributed over the boxes of a BoxArray (each box owned by
@@ -57,7 +59,21 @@ public:
     // is memoized in the process-wide CopierCache, keyed on the BoxArray /
     // DistributionMapping ids, so repeated exchanges on a stable layout
     // skip the O(nfabs^2) pattern rescan.
-    void FillBoundary(const Periodicity& period = Periodicity::nonPeriodic());
+    //
+    // Canonical comm signatures (shared with ParallelCopy and
+    // fillPatchTwoLevels): component selection first in (scomp, dcomp,
+    // ncomp) order, then ghost width, then Periodicity last, defaulting to
+    // nonPeriodic(). FillBoundary exchanges in place, so only (scomp,
+    // ncomp) applies.
+    void FillBoundary(int scomp, int ncomp,
+                      const Periodicity& period = Periodicity::nonPeriodic());
+    // Convenience: exchange every component, non-periodic.
+    void FillBoundary() { FillBoundary(0, m_ncomp); }
+
+    [[deprecated("use FillBoundary(scomp, ncomp, period)")]]
+    void FillBoundary(const Periodicity& period) {
+        FillBoundary(0, m_ncomp, period);
+    }
 
     // Copy component data from src (any BoxArray) wherever src valid
     // regions intersect our valid+dst_ng regions, with periodic images.
@@ -65,6 +81,27 @@ public:
     void ParallelCopy(const MultiFab& src, int scomp, int dcomp, int ncomp,
                       int dst_ng = 0,
                       const Periodicity& period = Periodicity::nonPeriodic());
+    // Convenience: copy every component into valid regions only.
+    void ParallelCopy(const MultiFab& src,
+                      const Periodicity& period = Periodicity::nonPeriodic());
+
+    // Split-phase forms: post the exchange (stage every source region into
+    // pack buffers on per-fab streams) and return immediately; the
+    // returned handle's finish() delivers the ghosts and reports the
+    // CommHooks accounting exactly as the fused call. Between post and
+    // finish this MultiFab's ghost zones are unmodified and its valid
+    // zones may be read or overwritten freely — the payload was captured
+    // at post time. When comm::asyncHalo() is off these run the fused
+    // path eagerly and return an already-finished handle.
+    comm::HaloHandle FillBoundary_nowait(
+        int scomp, int ncomp,
+        const Periodicity& period = Periodicity::nonPeriodic());
+    comm::HaloHandle FillBoundary_nowait() {
+        return FillBoundary_nowait(0, m_ncomp);
+    }
+    comm::HaloHandle ParallelCopy_nowait(
+        const MultiFab& src, int scomp, int dcomp, int ncomp, int dst_ng = 0,
+        const Periodicity& period = Periodicity::nonPeriodic());
 
     // Global reductions over valid regions.
     Real sum(int comp = 0) const;
@@ -86,10 +123,19 @@ public:
                         const MultiFab& y, int comp, int ncomp);
 
 private:
+    friend class comm::HaloHandle;
+
     // Execute a cached copy plan against `src` (which may be *this),
     // reporting each off-rank item to CommHooks under `tag`.
     void copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp,
                       int dcomp, int ncomp, const char* tag);
+
+    // Post-delivery tail of one plan item: the HaloPayloadCorrupt
+    // injection site and the CommHooks message record. Shared between the
+    // fused path and HaloHandle::finish() so the two report identical
+    // accounting and consume identical fault-schedule slots.
+    void deliverItemTail(const CopyItem& item, int dcomp, int ncomp, bool account,
+                         const char* tag);
 
     BoxArray m_ba;
     DistributionMapping m_dm;

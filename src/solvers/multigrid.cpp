@@ -1,6 +1,8 @@
 #include "solvers/multigrid.hpp"
 
+#include "core/executor.hpp"
 #include "core/parallel_for.hpp"
+#include "mesh/copier_cache.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -46,8 +48,12 @@ Multigrid::Multigrid(const Geometry& geom, MgBC bc, const Options& opt)
 }
 
 void Multigrid::fillGhosts(MultiFab& phi, int lev) {
+    phi.FillBoundary(0, phi.nComp(), m_geom[lev].periodicity());
+    applyDomainBC(phi, lev);
+}
+
+void Multigrid::applyDomainBC(MultiFab& phi, int lev) {
     const Geometry& g = m_geom[lev];
-    phi.FillBoundary(g.periodicity());
     if (m_bc == MgBC::Periodic) return;
 
     // Physical BC in the face-normal ghost zones outside the domain:
@@ -98,20 +104,59 @@ void Multigrid::smooth(MultiFab& phi, const MultiFab& rhs, int lev, int sweeps) 
     const Real hy2 = 1.0 / (g.cellSize(1) * g.cellSize(1));
     const Real hz2 = 1.0 / (g.cellSize(2) * g.cellSize(2));
     const Real diag = 2.0 * (hx2 + hy2 + hz2);
+    // One red-black half-sweep of fab i restricted to `region`.
+    auto sweepRegion = [&](std::size_t i, const Box& region, int color) {
+        auto p = phi.array(static_cast<int>(i));
+        auto r = rhs.const_array(static_cast<int>(i));
+        ParallelFor(smoothKernel(), region, [=](int ii, int j, int k) {
+            if (((ii + j + k) & 1) != color) return;
+            const Real sum = hx2 * (p(ii + 1, j, k) + p(ii - 1, j, k)) +
+                             hy2 * (p(ii, j + 1, k) + p(ii, j - 1, k)) +
+                             hz2 * (p(ii, j, k + 1) + p(ii, j, k - 1));
+            p(ii, j, k) = (sum - r(ii, j, k)) / diag;
+        });
+    };
     for (int s = 0; s < sweeps; ++s) {
         for (int color = 0; color < 2; ++color) {
-            fillGhosts(phi, lev);
-            for (std::size_t i = 0; i < phi.size(); ++i) {
-                auto p = phi.array(static_cast<int>(i));
-                auto r = rhs.const_array(static_cast<int>(i));
-                ParallelFor(smoothKernel(), phi.box(static_cast<int>(i)),
-                            [=](int ii, int j, int k) {
-                                if (((ii + j + k) & 1) != color) return;
-                                const Real sum = hx2 * (p(ii + 1, j, k) + p(ii - 1, j, k)) +
-                                                 hy2 * (p(ii, j + 1, k) + p(ii, j - 1, k)) +
-                                                 hz2 * (p(ii, j, k + 1) + p(ii, j, k - 1));
-                                p(ii, j, k) = (sum - r(ii, j, k)) / diag;
-                            });
+            if (comm::asyncHalo()) {
+                // Split phase: post the exchange (which packs the
+                // pre-sweep valid data, exactly what the fused path's
+                // ghosts carry), smooth the interiors while it is in
+                // flight, then deliver, apply the domain BC, and smooth
+                // the one-zone boundary shells. The half-sweep writes
+                // only `color` zones and reads only the other color, so
+                // the interior/shell order cannot change any result.
+                comm::HaloHandle halo =
+                    phi.FillBoundary_nowait(0, phi.nComp(), g.periodicity());
+                const auto part =
+                    CopierCache::instance().interiorPartition(phi.boxArray(), 1);
+                {
+                    StreamScope streams;
+                    for (std::size_t i = 0; i < phi.size(); ++i) {
+                        const FabRegions& fr = part->fabs[i];
+                        if (!fr.interior.ok()) continue;
+                        streams.useFab(i);
+                        sweepRegion(i, fr.interior, color);
+                    }
+                }
+                halo.finish();
+                applyDomainBC(phi, lev);
+                {
+                    StreamScope streams;
+                    for (std::size_t i = 0; i < phi.size(); ++i) {
+                        streams.useFab(i);
+                        for (const Box& sb : part->fabs[i].shell) {
+                            sweepRegion(i, sb, color);
+                        }
+                    }
+                }
+            } else {
+                fillGhosts(phi, lev);
+                StreamScope streams;
+                for (std::size_t i = 0; i < phi.size(); ++i) {
+                    streams.useFab(i);
+                    sweepRegion(i, phi.box(static_cast<int>(i)), color);
+                }
             }
             ++m_sweeps;
         }

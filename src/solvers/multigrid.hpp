@@ -68,6 +68,10 @@ public:
 
 private:
     void fillGhosts(MultiFab& phi, int lev);
+    // The physical-boundary half of fillGhosts (Dirichlet/Neumann face
+    // ghosts); runs after the halo delivery in both the fused and the
+    // split-phase smoother.
+    void applyDomainBC(MultiFab& phi, int lev);
     void smooth(MultiFab& phi, const MultiFab& rhs, int lev, int sweeps);
     void residual(MultiFab& phi, const MultiFab& rhs, MultiFab& res, int lev);
     void vcycle(int lev);

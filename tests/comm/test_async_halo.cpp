@@ -1,0 +1,524 @@
+// Tests for the split-phase halo exchange: FillBoundary_nowait /
+// ParallelCopy_nowait + HaloHandle::finish() must be bit-identical to the
+// fused (blocking) calls on every backend, across the driver-level
+// overlap paths (Castro RK stages, Maestro advection, the multigrid
+// smoother, AMR fillPatch), with identical CommHooks accounting, and the
+// Debug backend must flag handle-lifecycle mistakes (forgotten finish,
+// double finish).
+#include "castro/sedov.hpp"
+#include "comm/halo_handle.hpp"
+#include "comm/ledger.hpp"
+#include "core/debug.hpp"
+#include "core/executor.hpp"
+#include "maestro/maestro.hpp"
+#include "mesh/comm_hooks.hpp"
+#include "mesh/copier_cache.hpp"
+#include "mesh/interp.hpp"
+#include "mesh/multifab.hpp"
+#include "solvers/multigrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace exa;
+
+namespace {
+
+Real f(int i, int j, int k, int n) {
+    return std::sin(0.37 * i + 0.11 * j) + 0.21 * k + 1.7 * n;
+}
+
+MultiFab makeFilled(const BoxArray& ba, const DistributionMapping& dm, int ncomp,
+                    int ngrow) {
+    MultiFab mf(ba, dm, ncomp, ngrow);
+    mf.setVal(-4.0e30); // poison ghosts so un-filled zones still compare
+    for (std::size_t b = 0; b < mf.size(); ++b) {
+        auto a = mf.array(static_cast<int>(b));
+        const Box& vb = mf.box(static_cast<int>(b));
+        for (int n = 0; n < ncomp; ++n)
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                    for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i)
+                        a(i, j, k, n) = f(i, j, k, n);
+    }
+    return mf;
+}
+
+// Bitwise equality over valid + ghost zones.
+void expectIdentical(const MultiFab& a, const MultiFab& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.nComp(), b.nComp());
+    ASSERT_EQ(a.nGrow(), b.nGrow());
+    for (std::size_t fb = 0; fb < a.size(); ++fb) {
+        auto aa = a.const_array(static_cast<int>(fb));
+        auto bb = b.const_array(static_cast<int>(fb));
+        const Box gb = a.fabbox(static_cast<int>(fb));
+        for (int n = 0; n < a.nComp(); ++n)
+            for (int k = gb.smallEnd(2); k <= gb.bigEnd(2); ++k)
+                for (int j = gb.smallEnd(1); j <= gb.bigEnd(1); ++j)
+                    for (int i = gb.smallEnd(0); i <= gb.bigEnd(0); ++i)
+                        ASSERT_EQ(aa(i, j, k, n), bb(i, j, k, n))
+                            << "fab " << fb << " @ " << i << ' ' << j << ' ' << k
+                            << " comp " << n;
+    }
+}
+
+} // namespace
+
+// --- primitive-level bit-identity, all backends --------------------------
+
+class AsyncHaloBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(AsyncHaloBackends, FillBoundaryAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    for (bool periodic : {false, true}) {
+        const int nx = 24;
+        BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+        ba.maxSize(8);
+        DistributionMapping dm(ba, 4);
+        const Periodicity per = periodic ? Periodicity(IntVect{nx, nx, nx})
+                                         : Periodicity::nonPeriodic();
+
+        MultiFab sync_mf = makeFilled(ba, dm, 3, 2);
+        {
+            comm::ScopedAsyncHalo off(false);
+            sync_mf.FillBoundary(0, 3, per);
+        }
+        MultiFab async_mf = makeFilled(ba, dm, 3, 2);
+        {
+            comm::ScopedAsyncHalo on(true);
+            comm::HaloHandle h = async_mf.FillBoundary_nowait(0, 3, per);
+            EXPECT_TRUE(h.pending());
+            h.finish();
+            EXPECT_FALSE(h.pending());
+        }
+        expectIdentical(sync_mf, async_mf);
+
+        // Partial component range.
+        MultiFab sync_p = makeFilled(ba, dm, 3, 2);
+        {
+            comm::ScopedAsyncHalo off(false);
+            sync_p.FillBoundary(1, 2, per);
+        }
+        MultiFab async_p = makeFilled(ba, dm, 3, 2);
+        {
+            comm::ScopedAsyncHalo on(true);
+            comm::HaloHandle h = async_p.FillBoundary_nowait(1, 2, per);
+            h.finish();
+        }
+        expectIdentical(sync_p, async_p);
+    }
+}
+
+TEST_P(AsyncHaloBackends, ParallelCopyAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    const int nx = 16;
+    BoxArray sba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    sba.maxSize(8);
+    DistributionMapping sdm(sba, 4);
+    MultiFab src = makeFilled(sba, sdm, 2, 0);
+
+    BoxArray dba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    dba.maxSize(4); // different decomposition
+    DistributionMapping ddm(dba, 3);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab sync_dst(dba, ddm, 2, 1);
+    sync_dst.setVal(-1.0);
+    {
+        comm::ScopedAsyncHalo off(false);
+        sync_dst.ParallelCopy(src, 0, 0, 2, 1, per);
+    }
+    MultiFab async_dst(dba, ddm, 2, 1);
+    async_dst.setVal(-1.0);
+    {
+        comm::ScopedAsyncHalo on(true);
+        comm::HaloHandle h = async_dst.ParallelCopy_nowait(src, 0, 0, 2, 1, per);
+        EXPECT_TRUE(h.pending());
+        h.finish();
+    }
+    expectIdentical(sync_dst, async_dst);
+}
+
+// Pack-at-post semantics: the payload is captured when the exchange is
+// posted, so overwriting the source's valid zones between post and finish
+// (what an in-place interior sweep does) must not change what the ghosts
+// receive.
+TEST_P(AsyncHaloBackends, PackAtPostIsInsensitiveToLaterSourceWrites) {
+    ScopedBackend backend(GetParam());
+    const int nx = 16;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 2);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab sync_mf = makeFilled(ba, dm, 1, 1);
+    {
+        comm::ScopedAsyncHalo off(false);
+        sync_mf.FillBoundary(0, 1, per);
+    }
+    MultiFab async_mf = makeFilled(ba, dm, 1, 1);
+    {
+        comm::ScopedAsyncHalo on(true);
+        comm::HaloHandle h = async_mf.FillBoundary_nowait(0, 1, per);
+        // Clobber the valid interior while the exchange is in flight: the
+        // staged payload must be immune.
+        for (std::size_t b = 0; b < async_mf.size(); ++b) {
+            const Box inner = grow(async_mf.box(static_cast<int>(b)), -1);
+            if (!inner.ok()) continue;
+            auto a = async_mf.array(static_cast<int>(b));
+            for (int k = inner.smallEnd(2); k <= inner.bigEnd(2); ++k)
+                for (int j = inner.smallEnd(1); j <= inner.bigEnd(1); ++j)
+                    for (int i = inner.smallEnd(0); i <= inner.bigEnd(0); ++i)
+                        a(i, j, k) = 7.5;
+        }
+        h.finish();
+    }
+    // Ghost zones must match the sync fill of the *original* data.
+    for (std::size_t fb = 0; fb < sync_mf.size(); ++fb) {
+        auto aa = sync_mf.const_array(static_cast<int>(fb));
+        auto bb = async_mf.const_array(static_cast<int>(fb));
+        const Box gb = sync_mf.fabbox(static_cast<int>(fb));
+        const Box vb = sync_mf.box(static_cast<int>(fb));
+        for (int k = gb.smallEnd(2); k <= gb.bigEnd(2); ++k)
+            for (int j = gb.smallEnd(1); j <= gb.bigEnd(1); ++j)
+                for (int i = gb.smallEnd(0); i <= gb.bigEnd(0); ++i) {
+                    if (vb.contains(i, j, k)) continue;
+                    ASSERT_EQ(aa(i, j, k), bb(i, j, k))
+                        << "ghost @ " << i << ' ' << j << ' ' << k;
+                }
+    }
+}
+
+TEST_P(AsyncHaloBackends, FillPatchAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    const Box cdom({0, 0, 0}, {15, 15, 15});
+    Geometry cgeom(cdom, {0, 0, 0}, {1, 1, 1}, IntVect{1, 1, 1});
+    Geometry fgeom = cgeom.refined(2);
+
+    BoxArray cba(cdom);
+    cba.maxSize(8);
+    DistributionMapping cdm(cba, 2);
+    MultiFab crse = makeFilled(cba, cdm, 1, 1);
+    crse.FillBoundary(0, crse.nComp(), cgeom.periodicity());
+
+    BoxArray fba(refine(Box({4, 4, 4}, {11, 11, 11}), 2));
+    fba.maxSize(8);
+    DistributionMapping fdm(fba, 2);
+    MultiFab fine = makeFilled(fba, fdm, 1, 0);
+
+    BoxArray dba(refine(Box({2, 2, 2}, {13, 13, 13}), 2));
+    dba.maxSize(12);
+    DistributionMapping ddm(dba, 2);
+
+    MultiFab dst_sync(dba, ddm, 1, 2);
+    dst_sync.setVal(0.0);
+    {
+        comm::ScopedAsyncHalo off(false);
+        fillPatchTwoLevels(dst_sync, fine, crse, cgeom, fgeom, 2, 0, 0, 1, 2);
+    }
+    MultiFab dst_async(dba, ddm, 1, 2);
+    dst_async.setVal(0.0);
+    {
+        comm::ScopedAsyncHalo on(true);
+        fillPatchTwoLevels(dst_async, fine, crse, cgeom, fgeom, 2, 0, 0, 1, 2);
+    }
+    expectIdentical(dst_sync, dst_async);
+}
+
+// --- driver-level bit-identity -------------------------------------------
+
+TEST_P(AsyncHaloBackends, CastroGuardedStepAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    auto net = makeIgnitionSimple();
+    castro::SedovParams p;
+    p.ncell = 16;
+    p.max_grid_size = 8;
+    p.nranks = 4;
+    p.guard.enabled = true; // exercise snapshot/validate around the split path
+
+    auto run = [&](bool async) {
+        comm::ScopedAsyncHalo mode(async);
+        auto c = castro::makeSedov(p, net);
+        const Real dt = c->estimateDt();
+        for (int s = 0; s < 2; ++s) c->step(dt);
+        return c;
+    };
+    auto sync_c = run(false);
+    auto async_c = run(true);
+    expectIdentical(sync_c->state(), async_c->state());
+}
+
+TEST_P(AsyncHaloBackends, CastroPpmStepAsyncMatchesSync) {
+    // PPM widens the stencil to 3, giving a different interior partition
+    // (and, on 8^3 boxes, a 2-zone-thick interior) than the PLM tests.
+    ScopedBackend backend(GetParam());
+    auto net = makeIgnitionSimple();
+    auto run = [&](bool async) {
+        comm::ScopedAsyncHalo mode(async);
+        Box dom({0, 0, 0}, {15, 15, 15});
+        Geometry geom(dom, {0, 0, 0}, {1, 1, 1});
+        BoxArray ba(dom);
+        ba.maxSize(8);
+        DistributionMapping dm(ba, 2);
+        castro::CastroOptions opt;
+        opt.bc = DomainBC::allOutflow();
+        opt.reconstruction = castro::Reconstruction::PPM;
+        Eos eos{GammaLawEos{1.4}};
+        auto c = std::make_unique<castro::Castro>(geom, ba, dm, net, eos, opt);
+        c->initialize([&](Real x, Real, Real) {
+            castro::Castro::InitialZone z;
+            z.rho = x < 0.5 ? 1.0 : 0.125;
+            z.p = x < 0.5 ? 1.0 : 0.1;
+            z.X = {1.0, 0.0};
+            return z;
+        });
+        c->step(c->estimateDt());
+        return c;
+    };
+    auto sync_c = run(false);
+    auto async_c = run(true);
+    expectIdentical(sync_c->state(), async_c->state());
+}
+
+TEST_P(AsyncHaloBackends, MaestroAdvanceAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    auto net = makeIgnitionSimple();
+    maestro::BubbleParams p;
+    p.ncell = 16;
+    p.max_grid_size = 8;
+    p.nranks = 4;
+    p.do_react = false;
+
+    auto run = [&](bool async) {
+        comm::ScopedAsyncHalo mode(async);
+        auto m = maestro::makeReactingBubble(p, net);
+        const Real dt = m->estimateDt();
+        m->step(dt);
+        return m;
+    };
+    auto sync_m = run(false);
+    auto async_m = run(true);
+    expectIdentical(sync_m->state(), async_m->state());
+}
+
+TEST_P(AsyncHaloBackends, MultigridSolveAsyncMatchesSync) {
+    ScopedBackend backend(GetParam());
+    for (MgBC bc : {MgBC::Periodic, MgBC::Dirichlet}) {
+        const int n = 16;
+        Box dom({0, 0, 0}, {n - 1, n - 1, n - 1});
+        const IntVect per = bc == MgBC::Periodic ? IntVect{1, 1, 1} : IntVect{0, 0, 0};
+        Geometry geom(dom, {0, 0, 0}, {1, 1, 1}, per);
+        BoxArray ba(dom);
+        ba.maxSize(8);
+        DistributionMapping dm(ba, 4);
+
+        auto makeRhs = [&]() {
+            MultiFab rhs(ba, dm, 1, 0);
+            for (std::size_t i = 0; i < rhs.size(); ++i) {
+                auto r = rhs.array(static_cast<int>(i));
+                const Box& vb = rhs.box(static_cast<int>(i));
+                for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                    for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                        for (int i2 = vb.smallEnd(0); i2 <= vb.bigEnd(0); ++i2)
+                            r(i2, j, k) = f(i2, j, k, 0);
+            }
+            return rhs;
+        };
+
+        auto run = [&](bool async, MultiFab& phi) {
+            comm::ScopedAsyncHalo mode(async);
+            Multigrid::Options opt;
+            opt.max_vcycles = 4; // few cycles: enough to compare trajectories
+            Multigrid mg(geom, bc, opt);
+            MultiFab rhs = makeRhs();
+            phi.define(ba, dm, 1, 1);
+            phi.setVal(0.0);
+            return mg.solve(phi, rhs);
+        };
+        MultiFab phi_sync, phi_async;
+        const MgResult rs = run(false, phi_sync);
+        const MgResult ra = run(true, phi_async);
+        EXPECT_EQ(rs.vcycles, ra.vcycles);
+        EXPECT_EQ(rs.final_resnorm, ra.final_resnorm);
+        expectIdentical(phi_sync, phi_async);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AsyncHaloBackends,
+                         ::testing::Values(Backend::Serial, Backend::OpenMP,
+                                           Backend::SimGpu, Backend::Debug),
+                         [](const auto& info) {
+                             return std::string(backendName(info.param));
+                         });
+
+// --- handle lifecycle ----------------------------------------------------
+
+TEST(AsyncHalo, EmptyAndMovedHandlesAreSafe) {
+    comm::HaloHandle empty;
+    EXPECT_FALSE(empty.pending());
+    empty.finish(); // no-op
+    empty.finish(); // still a no-op, no violation on any backend
+
+    const int nx = 8;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(4);
+    DistributionMapping dm(ba, 1);
+    MultiFab mf = makeFilled(ba, dm, 1, 1);
+    comm::ScopedAsyncHalo on(true);
+    comm::HaloHandle h = mf.FillBoundary_nowait(0, 1, Periodicity(IntVect{nx, nx, nx}));
+    comm::HaloHandle h2 = std::move(h);
+    EXPECT_FALSE(h.pending()); // NOLINT(bugprone-use-after-move): moved-from is empty
+    EXPECT_TRUE(h2.pending());
+    h.finish(); // moved-from: no-op
+    h2.finish();
+    EXPECT_FALSE(h2.pending());
+}
+
+TEST(AsyncHalo, DisabledAsyncRunsEagerly) {
+    const int nx = 8;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(4);
+    DistributionMapping dm(ba, 1);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab reference = makeFilled(ba, dm, 1, 1);
+    reference.FillBoundary(0, 1, per);
+
+    comm::ScopedAsyncHalo off(false);
+    MultiFab eager = makeFilled(ba, dm, 1, 1);
+    comm::HaloHandle h = eager.FillBoundary_nowait(0, 1, per);
+    EXPECT_FALSE(h.pending()); // already complete
+    expectIdentical(reference, eager); // ghosts filled before finish()
+    h.finish();                        // harmless
+    expectIdentical(reference, eager);
+}
+
+TEST(AsyncHalo, DestructorCompletesDelivery) {
+    // On the Debug backend the drop below is (deliberately) a lifecycle
+    // violation; trap it so this test checks delivery on every backend.
+    debug::ScopedViolationTrap trap;
+    const int nx = 8;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(4);
+    DistributionMapping dm(ba, 2);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab reference = makeFilled(ba, dm, 1, 1);
+    reference.FillBoundary(0, 1, per);
+
+    comm::ScopedAsyncHalo on(true);
+    MultiFab mf = makeFilled(ba, dm, 1, 1);
+    {
+        comm::HaloHandle h = mf.FillBoundary_nowait(0, 1, per);
+        // Dropped without finish(): RAII must still deliver (and, on the
+        // Debug backend, flag the forgotten finish — tested below).
+    }
+    expectIdentical(reference, mf);
+    debug::clearViolations();
+}
+
+// --- Debug-backend lifecycle diagnostics ---------------------------------
+
+TEST(AsyncHaloDebug, ForgottenFinishIsFlagged) {
+    ScopedBackend backend(Backend::Debug);
+    debug::ScopedViolationTrap trap;
+    debug::clearViolations();
+
+    const int nx = 8;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(4);
+    DistributionMapping dm(ba, 2);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    MultiFab reference = makeFilled(ba, dm, 1, 1);
+    reference.FillBoundary(0, 1, per);
+
+    comm::ScopedAsyncHalo on(true);
+    MultiFab mf = makeFilled(ba, dm, 1, 1);
+    {
+        comm::HaloHandle h = mf.FillBoundary_nowait(0, 1, per);
+    } // destroyed pending
+    const auto v = debug::violations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, "halo-unfinished");
+    // The destructor still completed the delivery.
+    expectIdentical(reference, mf);
+    debug::clearViolations();
+}
+
+TEST(AsyncHaloDebug, DoubleFinishIsFlagged) {
+    ScopedBackend backend(Backend::Debug);
+    debug::ScopedViolationTrap trap;
+    debug::clearViolations();
+
+    const int nx = 8;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(4);
+    DistributionMapping dm(ba, 2);
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    comm::ScopedAsyncHalo on(true);
+    MultiFab mf = makeFilled(ba, dm, 1, 1);
+    comm::HaloHandle h = mf.FillBoundary_nowait(0, 1, per);
+    h.finish();
+    EXPECT_TRUE(debug::violations().empty());
+    h.finish(); // second finish: flagged, not re-delivered
+    const auto v = debug::violations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, "halo-double-finish");
+    debug::clearViolations();
+}
+
+// --- ledger in-flight tracking -------------------------------------------
+
+TEST(AsyncHalo, LedgerTracksSplitPhaseExchanges) {
+    const int nx = 16;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 8); // one box per rank: everything off-rank
+    const Periodicity per(IntVect{nx, nx, nx});
+
+    comm::ScopedAsyncHalo on(true);
+    CommLedger ledger;
+    ledger.attach();
+
+    MultiFab a = makeFilled(ba, dm, 1, 1);
+    MultiFab b = makeFilled(ba, dm, 1, 1);
+    {
+        comm::HaloHandle ha = a.FillBoundary_nowait(0, 1, per);
+        EXPECT_EQ(ledger.halosPosted(), 1);
+        EXPECT_EQ(ledger.halosInFlight(), 1);
+        comm::HaloHandle hb = b.FillBoundary_nowait(0, 1, per);
+        EXPECT_EQ(ledger.halosPosted(), 2);
+        EXPECT_EQ(ledger.halosInFlight(), 2);
+        EXPECT_EQ(ledger.maxHalosInFlight(), 2);
+        EXPECT_EQ(ledger.totalMessages(), 0); // nothing delivered yet
+        ha.finish();
+        EXPECT_EQ(ledger.halosInFlight(), 1);
+        hb.finish();
+        EXPECT_EQ(ledger.halosInFlight(), 0);
+    }
+    EXPECT_GT(ledger.totalMessages(), 0);
+    // Every message was delivered by a finish() — i.e. overlapped.
+    EXPECT_EQ(ledger.splitPhaseMessages(), ledger.totalMessages());
+
+    // The same exchanges, fused, move identical bytes.
+    CommLedger fused;
+    ledger.detach();
+    fused.attach();
+    {
+        comm::ScopedAsyncHalo off(false);
+        a.FillBoundary(0, 1, per);
+        b.FillBoundary(0, 1, per);
+    }
+    EXPECT_EQ(fused.totalBytes(), ledger.totalBytes());
+    EXPECT_EQ(fused.totalMessages(), ledger.totalMessages());
+    EXPECT_EQ(fused.halosPosted(), 0);
+    EXPECT_EQ(fused.splitPhaseMessages(), 0);
+    fused.detach();
+}

@@ -120,7 +120,7 @@ TEST(HaloPattern, MatchesRealFillBoundaryTraffic) {
     mf.setVal(0.0);
     CommLedger real;
     real.attach();
-    mf.FillBoundary(Periodicity(IntVect{32, 32, 32}));
+    mf.FillBoundary(0, mf.nComp(), Periodicity(IntVect{32, 32, 32}));
     real.detach();
 
     EXPECT_EQ(analytic.totalBytes(), real.totalBytes());

@@ -325,14 +325,14 @@ TEST_P(CommCacheBackends, FillBoundaryCachedMatchesUncached) {
                                          : Periodicity::nonPeriodic();
 
         MultiFab cached = makeFilled(ba, dm, 2, 2);
-        cached.FillBoundary(per); // cold: builds and caches the plan
-        cached.FillBoundary(per); // warm: replays the cached plan
+        cached.FillBoundary(0, cached.nComp(), per); // cold: builds and caches the plan
+        cached.FillBoundary(0, cached.nComp(), per); // warm: replays the cached plan
 
         MultiFab reference = makeFilled(ba, dm, 2, 2);
         {
             ScopedCacheDisabled off;
-            reference.FillBoundary(per);
-            reference.FillBoundary(per);
+            reference.FillBoundary(0, reference.nComp(), per);
+            reference.FillBoundary(0, reference.nComp(), per);
         }
         expectIdentical(cached, reference);
     }
@@ -376,7 +376,7 @@ TEST_P(CommCacheBackends, FillPatchAndAverageDownCachedMatchUncached) {
     cba.maxSize(8);
     DistributionMapping cdm(cba, 2);
     MultiFab crse = makeFilled(cba, cdm, 1, 1);
-    crse.FillBoundary(cgeom.periodicity());
+    crse.FillBoundary(0, crse.nComp(), cgeom.periodicity());
 
     BoxArray fba(refine(Box({4, 4, 4}, {11, 11, 11}), 2));
     fba.maxSize(8);
@@ -390,8 +390,8 @@ TEST_P(CommCacheBackends, FillPatchAndAverageDownCachedMatchUncached) {
     auto run = [&](MultiFab& dst, MultiFab& avg) {
         dst.setVal(0.0);
         // Twice: the second pass exercises the warm plans.
-        fillPatchTwoLevels(dst, 2, fine, crse, cgeom, fgeom, 2, 0, 1);
-        fillPatchTwoLevels(dst, 2, fine, crse, cgeom, fgeom, 2, 0, 1);
+        fillPatchTwoLevels(dst, fine, crse, cgeom, fgeom, 2, 0, 0, 1, 2);
+        fillPatchTwoLevels(dst, fine, crse, cgeom, fgeom, 2, 0, 0, 1, 2);
         avg.setVal(0.0);
         averageDown(avg, fine, 2, 0, 0, 1);
         averageDown(avg, fine, 2, 0, 0, 1);
@@ -426,14 +426,119 @@ TEST(CopierCacheTest, WarmFillBoundaryReportsIdenticalMessages) {
     const Periodicity per(IntVect{nx, nx, nx});
     MultiFab mf = makeFilled(ba, dm, 3, 2);
 
-    const auto cold = recordMessages([&] { mf.FillBoundary(per); });
-    const auto warm = recordMessages([&] { mf.FillBoundary(per); });
+    const auto cold = recordMessages([&] { mf.FillBoundary(0, mf.nComp(), per); });
+    const auto warm = recordMessages([&] { mf.FillBoundary(0, mf.nComp(), per); });
     std::vector<Msg> uncached;
     {
         ScopedCacheDisabled off;
-        uncached = recordMessages([&] { mf.FillBoundary(per); });
+        uncached = recordMessages([&] { mf.FillBoundary(0, mf.nComp(), per); });
     }
     EXPECT_FALSE(cold.empty());
     EXPECT_EQ(cold, warm);
     EXPECT_EQ(cold, uncached);
+}
+
+// --- interior/boundary partitions ----------------------------------------
+
+TEST(CopierCacheTest, InteriorPartitionGeometryAndCaching) {
+    auto& cache = CopierCache::instance();
+    cache.clear();
+    cache.resetStats();
+
+    BoxArray ba(Box({0, 0, 0}, {31, 31, 31}));
+    ba.maxSize(8);
+    const auto part = cache.interiorPartition(ba, 2);
+    ASSERT_EQ(part->fabs.size(), ba.size());
+    EXPECT_EQ(part->stencil, 2);
+
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        const Box& vb = ba[i];
+        const FabRegions& fr = part->fabs[i];
+        // Interior is the valid box shrunk by the stencil width.
+        ASSERT_TRUE(fr.interior.ok());
+        EXPECT_EQ(fr.interior, grow(vb, -2));
+        // Shell boxes are disjoint from the interior and from each other,
+        // and interior + shell tile the valid box exactly.
+        std::int64_t pts = fr.interior.numPts();
+        for (std::size_t a = 0; a < fr.shell.size(); ++a) {
+            EXPECT_FALSE((fr.shell[a] & fr.interior).ok());
+            EXPECT_TRUE(vb.contains(fr.shell[a]));
+            for (std::size_t b = a + 1; b < fr.shell.size(); ++b) {
+                EXPECT_FALSE((fr.shell[a] & fr.shell[b]).ok());
+            }
+            pts += fr.shell[a].numPts();
+        }
+        EXPECT_EQ(pts, vb.numPts());
+    }
+
+    // A stencil as wide as the half-width leaves no interior: the whole
+    // valid box is shell.
+    const auto thin = cache.interiorPartition(ba, 4);
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        EXPECT_FALSE(thin->fabs[i].interior.ok());
+        ASSERT_EQ(thin->fabs[i].shell.size(), 1u);
+        EXPECT_EQ(thin->fabs[i].shell[0], ba[i]);
+    }
+
+    // Caching: same (ba, stencil) is a hit and returns the same plan;
+    // a different stencil or a different BoxArray identity misses. The
+    // copy-plan hit/miss counters are untouched throughout.
+    auto s = cache.stats();
+    EXPECT_EQ(s.partition_misses, 2u);
+    EXPECT_EQ(s.partition_hits, 0u);
+    EXPECT_EQ(s.partitions, 2u);
+    const auto again = cache.interiorPartition(ba, 2);
+    EXPECT_EQ(again.get(), part.get());
+    BoxArray other(Box({0, 0, 0}, {31, 31, 31}));
+    other.maxSize(8); // same boxes, fresh identity
+    (void)cache.interiorPartition(other, 2);
+    s = cache.stats();
+    EXPECT_EQ(s.partition_hits, 1u);
+    EXPECT_EQ(s.partition_misses, 3u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+}
+
+// --- split-phase accounting (satellite: identical CommHooks counts) ------
+
+TEST(CopierCacheTest, SplitPhaseReportsIdenticalMessages) {
+    const int nx = 16;
+    BoxArray ba(Box({0, 0, 0}, {nx - 1, nx - 1, nx - 1}));
+    ba.maxSize(8);
+    DistributionMapping dm(ba, 8); // one box per rank: everything off-rank
+    const Periodicity per(IntVect{nx, nx, nx});
+    MultiFab mf = makeFilled(ba, dm, 3, 2);
+
+    std::vector<Msg> fused, split;
+    {
+        comm::ScopedAsyncHalo off(false);
+        fused = recordMessages([&] { mf.FillBoundary(0, mf.nComp(), per); });
+    }
+    {
+        comm::ScopedAsyncHalo on(true);
+        split = recordMessages([&] {
+            comm::HaloHandle h = mf.FillBoundary_nowait(0, mf.nComp(), per);
+            h.finish();
+        });
+    }
+    EXPECT_FALSE(fused.empty());
+    // Same messages, same order, same byte counts, same tags: the split
+    // path delivers through the identical plan items.
+    EXPECT_EQ(fused, split);
+
+    MultiFab src = makeFilled(ba, dm, 3, 2);
+    std::vector<Msg> pfused, psplit;
+    {
+        comm::ScopedAsyncHalo off(false);
+        pfused = recordMessages([&] { mf.ParallelCopy(src, 0, 0, 3, 1, per); });
+    }
+    {
+        comm::ScopedAsyncHalo on(true);
+        psplit = recordMessages([&] {
+            comm::HaloHandle h = mf.ParallelCopy_nowait(src, 0, 0, 3, 1, per);
+            h.finish();
+        });
+    }
+    EXPECT_FALSE(pfused.empty());
+    EXPECT_EQ(pfused, psplit);
 }

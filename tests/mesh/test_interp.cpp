@@ -171,7 +171,7 @@ TEST(FillPatchTwoLevels, CopiesFineWhereAvailableInterpolatesElsewhere) {
     MultiFab dst(dba, ddm, 1, 2);
     dst.setVal(0.0);
 
-    fillPatchTwoLevels(dst, 2, fine_src, crse, cgeom, fgeom, 2, 0, 1);
+    fillPatchTwoLevels(dst, fine_src, crse, cgeom, fgeom, 2, 0, 0, 1, 2);
 
     // Everywhere (valid + ghosts inside the fine domain) must equal the
     // linear function — fine where covered, interpolated (exact for

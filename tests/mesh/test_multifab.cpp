@@ -78,7 +78,7 @@ TEST(MultiFab, FillBoundaryPeriodicWrapsAllGhosts) {
     const int nx = 16, ng = 2, nc = 1;
     MultiFab mf = makeFilled(nx, 8, nc, ng);
     Periodicity per(IntVect{nx, nx, nx});
-    mf.FillBoundary(per);
+    mf.FillBoundary(0, mf.nComp(), per);
     for (std::size_t b = 0; b < mf.size(); ++b) {
         auto a = mf.const_array(static_cast<int>(b));
         const Box gb = mf.fabbox(static_cast<int>(b));

@@ -20,7 +20,7 @@ MultiFab makeFilled(const Geometry& g, int nc, int ng) {
             a(i, j, k, n) = i + 100.0 * j + 10000.0 * k + 1.0e6 * n;
         });
     }
-    mf.FillBoundary(g.periodicity());
+    mf.FillBoundary(0, mf.nComp(), g.periodicity());
     return mf;
 }
 
