@@ -21,8 +21,10 @@ Castro::Castro(const Geometry& geom, const BoxArray& ba,
       m_layout(net.nspec()),
       m_state(ba, dm, m_layout.ncomp(), opt.ngrow),
       m_gravity(opt.gravity, geom, net.nspec()),
-      m_guard(opt.guard) {
+      m_guard(opt.guard),
+      m_rebalancer(opt.rebalance) {
     m_state.setVal(0.0);
+    m_rebalancer.noteRegrid(0, ba.size());
 }
 
 void Castro::initialize(const InitFn& f) {
@@ -141,17 +143,23 @@ void Castro::hydroAdvance(Real dt) {
 
 BurnGridStats Castro::advanceOnce(Real dt) {
     BurnGridStats burn;
+    CostMonitor* cost =
+        m_opt.rebalance.enabled ? &m_rebalancer.monitor() : nullptr;
 
     if (m_opt.do_react) {
         TimerRegion timer("castro::react");
-        burn = reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react);
+        burn = reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react, cost);
     }
 
     if (m_opt.gravity != GravityType::None) {
         TimerRegion timer("castro::gravity");
         m_gravity.solve(m_state);
     }
-    hydroAdvance(dt);
+    {
+        WallTimer hydro_timer;
+        hydroAdvance(dt);
+        if (cost != nullptr) creditHydroTime(hydro_timer.seconds());
+    }
     if (m_opt.gravity != GravityType::None) {
         TimerRegion timer("castro::gravity");
         // Operator-split source with the field from the start of the step.
@@ -161,10 +169,39 @@ BurnGridStats Castro::advanceOnce(Real dt) {
 
     if (m_opt.do_react) {
         TimerRegion timer("castro::react");
-        burn.merge(reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react));
+        burn.merge(
+            reactState(m_state, m_net, m_eos, 0.5 * dt, m_opt.react, cost));
     }
 
     return burn;
+}
+
+void Castro::creditHydroTime(double seconds) {
+    const BoxArray& ba = m_state.boxArray();
+    const double total = static_cast<double>(ba.numPts());
+    if (total <= 0) return;
+    auto& mon = m_rebalancer.monitor();
+    for (std::size_t f = 0; f < ba.size(); ++f) {
+        mon.addTime(0, static_cast<int>(f),
+                    seconds * static_cast<double>(ba[f].numPts()) / total);
+    }
+}
+
+void Castro::maybeRebalance() {
+    if (!m_opt.rebalance.enabled) return;
+    // Hydro work channel: every zone costs ~hydro_zone_work units per
+    // step regardless of burning, so burn-free boxes keep a realistic
+    // floor under the Work metric.
+    auto& mon = m_rebalancer.monitor();
+    const BoxArray& ba = m_state.boxArray();
+    for (std::size_t f = 0; f < ba.size(); ++f) {
+        mon.addWork(0, static_cast<int>(f),
+                    m_opt.rebalance.hydro_zone_work *
+                        static_cast<double>(ba[f].numPts()));
+    }
+    std::vector<MultiFab*> fabs{&m_state};
+    for (MultiFab* g : m_gravity.rebalanceFabs()) fabs.push_back(g);
+    m_rebalancer.step(0, m_nstep, fabs);
 }
 
 BurnGridStats Castro::step(Real dt) {
@@ -172,6 +209,7 @@ BurnGridStats Castro::step(Real dt) {
         BurnGridStats burn = advanceOnce(dt);
         m_time += dt;
         ++m_nstep;
+        maybeRebalance();
         return burn;
     }
 
@@ -202,6 +240,9 @@ BurnGridStats Castro::step(Real dt) {
     // One guarded step is one step, however many substeps it took.
     m_time += dt;
     ++m_nstep;
+    // Rebalance only after the step is accepted: the guard's snapshot and
+    // the state must share a layout for the whole retry scope.
+    maybeRebalance();
     return burn;
 }
 

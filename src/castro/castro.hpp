@@ -4,6 +4,7 @@
 #include "castro/hydro.hpp"
 #include "castro/react.hpp"
 #include "mesh/phys_bc.hpp"
+#include "mesh/rebalance/rebalancer.hpp"
 #include "mesh/step_guard.hpp"
 
 #include <functional>
@@ -23,6 +24,10 @@ struct CastroOptions {
     // Step retry: snapshot / validate / rollback-with-dt-backoff around
     // every step (Castro's use_retry analogue). Off by default.
     StepGuardOptions guard;
+    // Cost-driven load balancing: measure per-box burn/hydro cost and
+    // migrate state to a cost-weighted mapping when the imbalance
+    // warrants it. Off by default.
+    RebalanceOptions rebalance;
 };
 
 // The single-level Castro-mini driver: compressible reacting
@@ -84,6 +89,11 @@ public:
 
     Gravity& gravity() { return m_gravity; }
 
+    // Load-balancer access (cost monitor, decision stats) for tests and
+    // benches.
+    Rebalancer& rebalancer() { return m_rebalancer; }
+    const Rebalancer& rebalancer() const { return m_rebalancer; }
+
     // Fill state ghosts: exchange + physical BCs.
     void fillGhosts(MultiFab& s);
 
@@ -99,6 +109,13 @@ private:
     // One unguarded advance of size dt (the pre-guard step body); does not
     // touch m_time/m_nstep.
     BurnGridStats advanceOnce(Real dt);
+    // Zones-proportional attribution of one hydro sweep's wall time to
+    // the cost monitor (the hydro loops are MultiFab-wide, so per-fab
+    // timers would only bracket the same proportional split).
+    void creditHydroTime(double seconds);
+    // End-of-step rebalance hook: feed the hydro work channel, then let
+    // the Rebalancer commit this step's costs and decide.
+    void maybeRebalance();
 
     Geometry m_geom;
     const ReactionNetwork& m_net;
@@ -108,6 +125,7 @@ private:
     MultiFab m_state;
     Gravity m_gravity;
     StepGuard m_guard;
+    Rebalancer m_rebalancer;
     Real m_time = 0.0;
     int m_nstep = 0;
 };

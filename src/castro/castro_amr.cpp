@@ -2,6 +2,7 @@
 
 #include "castro/validate.hpp"
 #include "core/parallel_for.hpp"
+#include "core/timer.hpp"
 
 #include <cassert>
 #include <limits>
@@ -19,7 +20,8 @@ CastroAmr::CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
       m_layout(net.nspec()),
       m_init(std::move(init)),
       m_tag(std::move(tag)),
-      m_guard(opt.guard) {
+      m_guard(opt.guard),
+      m_rebalancer(opt.rebalance) {
     m_state.resize(info.max_level + 1);
 }
 
@@ -101,6 +103,7 @@ void CastroAmr::MakeNewLevelFromScratch(int lev, const BoxArray& ba,
     m_state[lev].define(ba, dm, m_layout.ncomp(), m_opt.ngrow);
     m_state[lev].setVal(0.0);
     initLevelData(lev, m_state[lev]);
+    m_rebalancer.noteRegrid(lev, ba.size());
 }
 
 void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
@@ -114,6 +117,7 @@ void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
                        geom(lev - 1), geom(lev), refRatio(), 0, 0,
                        m_layout.ncomp());
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+    m_rebalancer.noteRegrid(lev, ba.size());
 }
 
 void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
@@ -125,9 +129,13 @@ void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
                        geom(lev), refRatio(), 0, 0, m_layout.ncomp());
     m_state[lev] = std::move(newstate);
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+    m_rebalancer.noteRegrid(lev, ba.size());
 }
 
-void CastroAmr::ClearLevel(int lev) { m_state[lev].clear(); }
+void CastroAmr::ClearLevel(int lev) {
+    m_state[lev].clear();
+    m_rebalancer.noteRegrid(lev, 0);
+}
 
 void CastroAmr::ErrorEst(int lev, MultiFab& tags) {
     m_tag(lev, geom(lev), m_state[lev], tags);
@@ -168,20 +176,38 @@ void CastroAmr::advanceLevel(int lev, Real dt) {
 
 BurnGridStats CastroAmr::advanceOnce(Real dt) {
     BurnGridStats burn;
+    CostMonitor* cost =
+        m_opt.rebalance.enabled ? &m_rebalancer.monitor() : nullptr;
     auto accumulate = [&](BurnGridStats b, int lev) {
         if (b.first_failure.valid) b.first_failure.level = lev;
         burn.merge(b);
+    };
+    auto creditHydroTime = [&](int lev, double seconds) {
+        // Zones-proportional attribution of one level sweep's wall time.
+        if (cost == nullptr) return;
+        const BoxArray& ba = m_state[lev].boxArray();
+        const double total = static_cast<double>(ba.numPts());
+        if (total <= 0) return;
+        for (std::size_t f = 0; f < ba.size(); ++f) {
+            cost->addTime(lev, static_cast<int>(f),
+                          seconds * static_cast<double>(ba[f].numPts()) / total);
+        }
     };
 
     // Strang half-burn on every level (finest last so averaging wins).
     if (m_opt.do_react) {
         for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react),
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt,
+                                  m_opt.react, cost, lev),
                        lev);
         }
     }
     // Hydro, coarse to fine, then synchronize by averaging down.
-    for (int lev = 0; lev <= finestLevel(); ++lev) advanceLevel(lev, dt);
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        WallTimer hydro_timer;
+        advanceLevel(lev, dt);
+        creditHydroTime(lev, hydro_timer.seconds());
+    }
     for (int lev = finestLevel(); lev > 0; --lev) {
         averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
                     m_layout.ncomp());
@@ -189,7 +215,8 @@ BurnGridStats CastroAmr::advanceOnce(Real dt) {
     }
     if (m_opt.do_react) {
         for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt, m_opt.react),
+            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt,
+                                  m_opt.react, cost, lev),
                        lev);
         }
         for (int lev = finestLevel(); lev > 0; --lev) {
@@ -258,7 +285,30 @@ BurnGridStats CastroAmr::step(Real dt) {
     if (regrid_interval > 0 && m_nstep % regrid_interval == 0 && maxLevel() > 0) {
         regrid(0);
     }
+    // Re-evaluated after the regrid: rebuilt levels had their cost
+    // history reset (the regrid's zone-count mapping is their cold
+    // start), while stable levels can act on this step's measurements.
+    maybeRebalance();
     return burn;
+}
+
+void CastroAmr::maybeRebalance() {
+    if (!m_opt.rebalance.enabled) return;
+    auto& mon = m_rebalancer.monitor();
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        const BoxArray& ba = boxArray(lev);
+        for (std::size_t f = 0; f < ba.size(); ++f) {
+            mon.addWork(lev, static_cast<int>(f),
+                        m_opt.rebalance.hydro_zone_work *
+                            static_cast<double>(ba[f].numPts()));
+        }
+        const auto d = m_rebalancer.step(lev, m_nstep, {&m_state[lev]});
+        if (d.performed) {
+            // Keep AmrCore's per-level mapping (used by the next regrid
+            // and by fillPatch temporaries) in sync with the migration.
+            m_dm[lev] = m_state[lev].distributionMap();
+        }
+    }
 }
 
 Real CastroAmr::totalMass() const {

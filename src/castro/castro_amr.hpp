@@ -52,6 +52,12 @@ public:
     // Retry accounting for the guarded steps of this run.
     const RetryStats& retryStats() const { return m_guard.stats(); }
 
+    // Load-balancer access (cost monitor, decision stats). Each level is
+    // rebalanced independently after the step (and its cost history is
+    // reset whenever a regrid rebuilds the level).
+    Rebalancer& rebalancer() { return m_rebalancer; }
+    const Rebalancer& rebalancer() const { return m_rebalancer; }
+
     // Conservation diagnostics over the hierarchy: sums on the coarsest
     // level are authoritative after average_down.
     Real totalMass() const;
@@ -80,6 +86,10 @@ private:
     BurnGridStats advanceOnce(Real dt);
     void initLevelData(int lev, MultiFab& mf);
     void applyPhysBC(int lev, MultiFab& mf);
+    // End-of-step rebalance hook (after regrid): per level, feed the
+    // hydro work channel, let the Rebalancer decide, and keep AmrCore's
+    // mapping in sync with any migrated state.
+    void maybeRebalance();
 
     const ReactionNetwork& m_net;
     Eos m_eos;
@@ -89,6 +99,7 @@ private:
     TagFn m_tag;
     std::vector<MultiFab> m_state;
     StepGuard m_guard;
+    Rebalancer m_rebalancer;
     Real m_time = 0.0;
     int m_nstep = 0;
 };

@@ -35,6 +35,14 @@ void Gravity::solve(const MultiFab& state) {
     }
 }
 
+std::vector<MultiFab*> Gravity::rebalanceFabs() {
+    std::vector<MultiFab*> fabs;
+    if (!m_defined) return fabs;
+    fabs.push_back(&m_g);
+    if (m_type == GravityType::Poisson) fabs.push_back(&m_phi);
+    return fabs;
+}
+
 void Gravity::solveMonopole(const MultiFab& state) {
     // Radial mass histogram about the center.
     const Real dx = m_geom.cellSize(0);

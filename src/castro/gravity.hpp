@@ -38,6 +38,12 @@ public:
     // Total modeled multigrid V-cycles (performance accounting).
     int lastVcycles() const { return m_last_vcycles; }
 
+    // The fabs living on the state's layout that must migrate with it
+    // when the load balancer redistributes (empty until the first solve
+    // defines them; the multigrid hierarchy keeps its own internal
+    // partition and ParallelCopies in/out, so it needs no migration).
+    std::vector<MultiFab*> rebalanceFabs();
+
     GravityType type() const { return m_type; }
 
 private:

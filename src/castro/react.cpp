@@ -9,7 +9,8 @@
 namespace exa::castro {
 
 BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos& eos,
-                         Real dt, const ReactOptions& opt) {
+                         Real dt, const ReactOptions& opt, CostMonitor* cost,
+                         int level) {
     const int nspec = net.nspec();
     BurnGridStats stats;
     std::vector<std::int64_t> zone_steps;
@@ -18,6 +19,8 @@ BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos&
     std::vector<Real> X(nspec);
 
     for (std::size_t f = 0; f < state.size(); ++f) {
+        CostMonitor::ScopedFabTimer fab_timer(cost, level, static_cast<int>(f));
+        const std::int64_t steps_before = stats.total_steps;
         auto u = state.array(static_cast<int>(f));
         const Box& vb = state.box(static_cast<int>(f));
         zone_steps.clear();
@@ -97,6 +100,13 @@ BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos&
             rec.ncomp = 1;
             rec.stream = ExecConfig::currentStream();
             ExecConfig::notifyLaunch(rec);
+        }
+
+        if (cost != nullptr) {
+            // Burn work channel: integrator steps this fab consumed. The
+            // wall-time channel is credited by fab_timer's destructor.
+            cost->addWork(level, static_cast<int>(f),
+                          static_cast<double>(stats.total_steps - steps_before));
         }
     }
     return stats;

@@ -2,6 +2,7 @@
 
 #include "castro/state.hpp"
 #include "mesh/multifab.hpp"
+#include "mesh/rebalance/cost_monitor.hpp"
 #include "microphysics/burner.hpp"
 
 namespace exa::castro {
@@ -23,7 +24,12 @@ struct ReactOptions {
 // statistics and notifies the simulated device of the launch with a
 // KernelInfo reflecting the network size (register pressure) and the
 // measured zone-to-zone work imbalance.
+//
+// When `cost` is non-null, each fab's integrator-step total and wall time
+// are credited to (level, fab) — the burn channel of the load balancer's
+// CostMonitor.
 BurnGridStats reactState(MultiFab& state, const ReactionNetwork& net, const Eos& eos,
-                         Real dt, const ReactOptions& opt = ReactOptions{});
+                         Real dt, const ReactOptions& opt = ReactOptions{},
+                         CostMonitor* cost = nullptr, int level = 0);
 
 } // namespace exa::castro

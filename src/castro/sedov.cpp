@@ -15,6 +15,7 @@ std::unique_ptr<Castro> makeSedov(const SedovParams& p, const ReactionNetwork& n
     opt.cfl = p.cfl;
     opt.bc = DomainBC::allOutflow();
     opt.guard = p.guard;
+    opt.rebalance = p.rebalance;
 
     Eos eos{GammaLawEos{p.gamma}};
     auto castro = std::make_unique<Castro>(geom, ba, dm, net, eos, opt);

@@ -21,6 +21,7 @@ struct SedovParams {
     Real gamma = 1.4;
     Real cfl = 0.4;
     StepGuardOptions guard;  // step retry (off by default)
+    RebalanceOptions rebalance; // cost-driven load balancing (off by default)
 };
 
 // Build a gamma-law Castro instance initialized with the blast.

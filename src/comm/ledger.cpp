@@ -7,6 +7,8 @@ namespace exa {
 void CommLedger::attach() {
     CommHooks::setMessageHook([this](const MessageRecord& r) { record(r); });
     CommHooks::setHaloHook([this](const HaloEvent& e) { recordHalo(e); });
+    CommHooks::setRebalanceHook(
+        [this](const RebalanceEvent& e) { recordRebalance(e); });
     m_attached = true;
 }
 
@@ -14,6 +16,7 @@ void CommLedger::detach() {
     if (m_attached) {
         CommHooks::clearMessageHook();
         CommHooks::clearHaloHook();
+        CommHooks::clearRebalanceHook();
         m_attached = false;
     }
 }
@@ -41,6 +44,12 @@ void CommLedger::recordHalo(const HaloEvent& e) {
     }
 }
 
+void CommLedger::recordRebalance(const RebalanceEvent& e) {
+    ++m_rebalances;
+    m_migration_bytes += e.bytes;
+    m_migration_boxes += e.boxes_moved;
+}
+
 void CommLedger::reset() {
     m_edges.clear();
     m_tag_bytes.clear();
@@ -50,6 +59,9 @@ void CommLedger::reset() {
     m_halos_in_flight = 0;
     m_max_halos_in_flight = 0;
     m_split_phase_msgs = 0;
+    m_rebalances = 0;
+    m_migration_bytes = 0;
+    m_migration_boxes = 0;
 }
 
 std::int64_t CommLedger::bytesWithTag(const std::string& tag) const {

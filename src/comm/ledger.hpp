@@ -26,6 +26,7 @@ public:
 
     void record(const MessageRecord& r);
     void recordHalo(const HaloEvent& e);
+    void recordRebalance(const RebalanceEvent& e);
     void reset();
 
     std::int64_t totalBytes() const { return m_total_bytes; }
@@ -41,6 +42,15 @@ public:
     std::int64_t halosInFlight() const { return m_halos_in_flight; }
     std::int64_t maxHalosInFlight() const { return m_max_halos_in_flight; }
     std::int64_t splitPhaseMessages() const { return m_split_phase_msgs; }
+
+    // Load-balancing traffic (RebalanceEvent hook): how many live-state
+    // migrations the Rebalancer performed and the off-rank payload they
+    // moved. The same bytes also appear in bytesWithTag("rebalance") via
+    // the per-message records; the event-level counters survive even when
+    // a caller filters tags.
+    std::int64_t rebalancesPerformed() const { return m_rebalances; }
+    std::int64_t migrationBytes() const { return m_migration_bytes; }
+    std::int64_t migrationBoxesMoved() const { return m_migration_boxes; }
 
     // Bytes that would cross the node boundary under the given layout.
     std::int64_t offNodeBytes(const RankLayout& layout) const;
@@ -62,6 +72,9 @@ private:
     std::int64_t m_halos_in_flight = 0;
     std::int64_t m_max_halos_in_flight = 0;
     std::int64_t m_split_phase_msgs = 0;
+    std::int64_t m_rebalances = 0;
+    std::int64_t m_migration_bytes = 0;
+    std::int64_t m_migration_boxes = 0;
     bool m_attached = false;
 };
 

@@ -23,7 +23,7 @@ std::atomic<int> g_armed_count{0};
 
 constexpr const char* kNames[nsites] = {
     "burn-zone-failure", "hydro-nan-flux", "arena-alloc-failure",
-    "halo-payload-corrupt", "checkpoint-bit-flip",
+    "halo-payload-corrupt", "checkpoint-bit-flip", "migration-payload-corrupt",
 };
 
 // splitmix64: a well-mixed hash of (seed, hit) for the probability mode.

@@ -36,6 +36,7 @@ enum class Site : int {
     ArenaAllocFailure,   // Pool/MallocArena::allocate() throws std::bad_alloc
     HaloPayloadCorrupt,  // MultiFab copy plan: one copied value becomes NaN
     CheckpointBitFlip,   // writePlotfile(): one bit of a fab payload flips on disk
+    MigrationPayloadCorrupt, // MultiFab::Redistribute(): one migrated fab poisoned
     count_
 };
 inline constexpr int nsites = static_cast<int>(Site::count_);

@@ -37,12 +37,14 @@ Maestro::Maestro(const Geometry& geom, const BoxArray& ba,
       m_opt(opt),
       m_layout(net.nspec()),
       m_state(ba, dm, m_layout.ncomp(), opt.ngrow),
-      m_guard(opt.guard) {
+      m_guard(opt.guard),
+      m_rebalancer(opt.rebalance) {
     m_state.setVal(0.0);
     m_mg = std::make_unique<Multigrid>(geom, MgBC::Neumann, opt.mg);
     m_phi.define(ba, dm, 1, 1);
     m_phi.setVal(0.0);
     m_divu.define(ba, dm, 1, 0);
+    m_rebalancer.noteRegrid(0, ba.size());
 }
 
 void Maestro::initialize(const InitFn& f) {
@@ -238,7 +240,10 @@ BurnGridStats Maestro::react(Real dt) {
     BurnGridStats stats;
     const int nspec = m_net.nspec();
     std::vector<Real> X(nspec);
+    CostMonitor* cost =
+        m_opt.rebalance.enabled ? &m_rebalancer.monitor() : nullptr;
     for (std::size_t b = 0; b < m_state.size(); ++b) {
+        CostMonitor::ScopedFabTimer fab_timer(cost, 0, static_cast<int>(b));
         auto q = m_state.array(static_cast<int>(b));
         const Box& vb = m_state.box(static_cast<int>(b));
         std::int64_t fab_steps = 0, fab_zones = 0, fab_max = 0;
@@ -278,6 +283,12 @@ BurnGridStats Maestro::react(Real dt) {
         stats.zones += fab_zones;
         stats.total_steps += fab_steps;
         stats.max_steps = std::max(stats.max_steps, fab_max);
+        if (cost != nullptr) {
+            // Burn work channel; the wall-time channel is credited by
+            // fab_timer's destructor.
+            cost->addWork(0, static_cast<int>(b),
+                          static_cast<double>(fab_steps));
+        }
         if (ExecConfig::accountsLaunches() && fab_zones > 0) {
             const double mean = static_cast<double>(fab_steps) / fab_zones;
             LaunchRecord rec;
@@ -373,14 +384,41 @@ Real Maestro::maxAbsDivergence() {
 }
 
 BurnGridStats Maestro::advanceOnce(Real dt) {
-    advect(dt);
-    buoyancy(dt);
+    {
+        WallTimer advect_timer;
+        advect(dt);
+        buoyancy(dt);
+        if (m_opt.rebalance.enabled) {
+            // Zones-proportional attribution of the advection sweep (its
+            // loops are MultiFab-wide).
+            const BoxArray& ba = m_state.boxArray();
+            const double total = static_cast<double>(ba.numPts());
+            const double sec = advect_timer.seconds();
+            auto& mon = m_rebalancer.monitor();
+            for (std::size_t f = 0; f < ba.size() && total > 0; ++f) {
+                mon.addTime(0, static_cast<int>(f),
+                            sec * static_cast<double>(ba[f].numPts()) / total);
+            }
+        }
+    }
     BurnGridStats burn;
     if (m_opt.do_react) burn = react(dt);
     if (m_opt.proj_interval > 0 && (m_nstep + 1) % m_opt.proj_interval == 0) {
         project();
     }
     return burn;
+}
+
+void Maestro::maybeRebalance() {
+    if (!m_opt.rebalance.enabled) return;
+    auto& mon = m_rebalancer.monitor();
+    const BoxArray& ba = m_state.boxArray();
+    for (std::size_t f = 0; f < ba.size(); ++f) {
+        mon.addWork(0, static_cast<int>(f),
+                    m_opt.rebalance.hydro_zone_work *
+                        static_cast<double>(ba[f].numPts()));
+    }
+    m_rebalancer.step(0, m_nstep, {&m_state, &m_phi, &m_divu});
 }
 
 ValidationReport Maestro::validate(const BurnGridStats& burn) const {
@@ -432,6 +470,7 @@ BurnGridStats Maestro::step(Real dt) {
         BurnGridStats burn = advanceOnce(dt);
         m_time += dt;
         ++m_nstep;
+        maybeRebalance();
         return burn;
     }
 
@@ -473,6 +512,8 @@ BurnGridStats Maestro::step(Real dt) {
 
     m_time += dt;
     ++m_nstep;
+    // Rebalance only after the step is accepted (never mid-retry).
+    maybeRebalance();
     return burn;
 }
 
@@ -514,6 +555,7 @@ std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
     opt.do_react = p.do_react;
     opt.react.T_min = 1.0e8;
     opt.guard = p.guard;
+    opt.rebalance = p.rebalance;
 
     auto m = std::make_unique<Maestro>(geom, ba, dm, net, eos, base, opt);
     const Real r_bub = p.bubble_radius_frac * p.domain_width;

@@ -3,6 +3,7 @@
 #include "castro/react.hpp"
 #include "maestro/base_state.hpp"
 #include "mesh/phys_bc.hpp"
+#include "mesh/rebalance/rebalancer.hpp"
 #include "mesh/step_guard.hpp"
 #include "solvers/multigrid.hpp"
 
@@ -37,6 +38,9 @@ struct MaestroOptions {
     // not apply to the low Mach state (density is EOS-derived) — the
     // validator checks finiteness, T > 0, species sums, and burn failures.
     StepGuardOptions guard;
+    // Cost-driven load balancing (burn-dominated boxes migrate to a
+    // cost-weighted mapping). Off by default.
+    RebalanceOptions rebalance;
 };
 
 // The low Mach number solver: advection (MC-limited upwind), buoyancy
@@ -73,6 +77,10 @@ public:
     // Retry accounting for the guarded steps of this run.
     const RetryStats& retryStats() const { return m_guard.stats(); }
 
+    // Load-balancer access (cost monitor, decision stats).
+    Rebalancer& rebalancer() { return m_rebalancer; }
+    const Rebalancer& rebalancer() const { return m_rebalancer; }
+
     // EOS density at the base-state pressure for (k, T, X).
     Real rhoOf(int kzone, Real T, const Real* X) const;
 
@@ -97,6 +105,9 @@ private:
     // The physical-boundary half of fillGhosts; runs after the halo
     // delivery in both the fused and the split-phase advect.
     void applyPhysBC(MultiFab& s);
+    // End-of-step rebalance hook: feed the advect work channel, then let
+    // the Rebalancer decide; m_state, m_phi, and m_divu migrate together.
+    void maybeRebalance();
 
     Geometry m_geom;
     const ReactionNetwork& m_net;
@@ -108,6 +119,7 @@ private:
     std::unique_ptr<Multigrid> m_mg;
     MultiFab m_phi, m_divu;
     StepGuard m_guard;
+    Rebalancer m_rebalancer;
     Real m_time = 0.0;
     int m_nstep = 0;
     int m_last_vcycles = 0;
@@ -129,6 +141,7 @@ struct BubbleParams {
     Real gravity = -1.5e10;      // cm/s^2
     bool do_react = true;
     StepGuardOptions guard;      // step retry (off by default)
+    RebalanceOptions rebalance;  // cost-driven load balancing (off by default)
 };
 
 std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,

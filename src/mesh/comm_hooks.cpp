@@ -5,6 +5,7 @@ namespace exa {
 namespace {
 MessageHook g_hook;
 HaloHook g_halo_hook;
+RebalanceHook g_rebalance_hook;
 }
 
 void CommHooks::setMessageHook(MessageHook h) { g_hook = std::move(h); }
@@ -20,5 +21,16 @@ void CommHooks::notifyHalo(const HaloEvent& e) {
     if (g_halo_hook) g_halo_hook(e);
 }
 bool CommHooks::haloActive() { return static_cast<bool>(g_halo_hook); }
+
+void CommHooks::setRebalanceHook(RebalanceHook h) {
+    g_rebalance_hook = std::move(h);
+}
+void CommHooks::clearRebalanceHook() { g_rebalance_hook = nullptr; }
+void CommHooks::notifyRebalance(const RebalanceEvent& e) {
+    if (g_rebalance_hook) g_rebalance_hook(e);
+}
+bool CommHooks::rebalanceActive() {
+    return static_cast<bool>(g_rebalance_hook);
+}
 
 } // namespace exa

@@ -35,6 +35,22 @@ struct HaloEvent {
 
 using HaloHook = std::function<void(const HaloEvent&)>;
 
+// One live-state migration performed by the Rebalancer: every registered
+// MultiFab on the level was redistributed from the old mapping to the
+// new cost-weighted one. The bytes are the off-rank valid-region payload
+// summed over all migrated fabs — the same quantity the per-message
+// MessageRecords (tag "rebalance") report, bracketed into one event so
+// the ledger can count rebalances and attribute migration traffic.
+struct RebalanceEvent {
+    int level = 0;
+    std::int64_t boxes_moved = 0; // box ownership changes, summed over fabs
+    std::int64_t bytes = 0;       // off-rank migration payload
+    double imbalance_before = 1.0;
+    double imbalance_after = 1.0;
+};
+
+using RebalanceHook = std::function<void(const RebalanceEvent&)>;
+
 // Process-global sink for message records (mirrors ExecConfig's launch
 // hook). Registered by the comm/perf layer; cheap no-op when absent.
 class CommHooks {
@@ -49,6 +65,12 @@ public:
     static void clearHaloHook();
     static void notifyHalo(const HaloEvent& e);
     static bool haloActive();
+
+    // Load-balancing migration events (one per performed rebalance).
+    static void setRebalanceHook(RebalanceHook h);
+    static void clearRebalanceHook();
+    static void notifyRebalance(const RebalanceEvent& e);
+    static bool rebalanceActive();
 };
 
 } // namespace exa

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <numeric>
 #include <queue>
+#include <sstream>
 
 namespace exa {
 
@@ -33,7 +35,27 @@ std::uint64_t mortonCode(int x, int y, int z) {
 DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
                                          Strategy strategy)
     : m_nranks(std::max(1, nranks)), m_id(nextDmId()) {
+    // Cold-start path: weigh boxes by zone count. Integer zone counts are
+    // exact in double, so this is bit-identical to the historical integer
+    // accumulation.
+    std::vector<double> cost(ba.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        cost[i] = static_cast<double>(ba[i].numPts());
+    }
+    build(ba, cost, strategy);
+}
+
+DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
+                                         const std::vector<double>& cost,
+                                         Strategy strategy)
+    : m_nranks(std::max(1, nranks)), m_id(nextDmId()) {
+    build(ba, cost, strategy);
+}
+
+void DistributionMapping::build(const BoxArray& ba, const std::vector<double>& cost,
+                                Strategy strategy) {
     const std::size_t n = ba.size();
+    assert(cost.size() == n);
     m_rank.assign(n, 0);
     if (n == 0) return;
 
@@ -46,7 +68,7 @@ DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
         }
         case Strategy::Sfc: {
             // Order boxes along a Morton curve through their centers, then
-            // hand out contiguous chunks with approximately equal zones.
+            // hand out contiguous chunks with approximately equal cost.
             std::vector<std::size_t> order(n);
             std::iota(order.begin(), order.end(), 0);
             // Shift all centers to non-negative coordinates first.
@@ -61,37 +83,38 @@ DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
             }
             std::sort(order.begin(), order.end(),
                       [&](std::size_t a, std::size_t b) { return code[a] < code[b]; });
-            const std::int64_t total = ba.numPts();
-            const double per_rank = static_cast<double>(total) / m_nranks;
-            std::int64_t acc = 0;
+            const double total = std::accumulate(cost.begin(), cost.end(), 0.0);
+            const double per_rank = total / m_nranks;
+            double acc = 0;
             int rank = 0;
             for (std::size_t idx : order) {
                 // Advance rank when this rank has met its share, but never
                 // beyond the final rank.
-                while (rank < m_nranks - 1 &&
-                       static_cast<double>(acc) >= per_rank * (rank + 1)) {
+                while (rank < m_nranks - 1 && acc >= per_rank * (rank + 1)) {
                     ++rank;
                 }
                 m_rank[idx] = rank;
-                acc += ba[idx].numPts();
+                acc += cost[idx];
             }
             break;
         }
         case Strategy::Knapsack: {
-            // Largest box first onto the least-loaded rank.
+            // Largest cost first onto the least-loaded rank; ties broken by
+            // box index so the mapping is deterministic for equal weights.
             std::vector<std::size_t> order(n);
             std::iota(order.begin(), order.end(), 0);
             std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-                return ba[a].numPts() > ba[b].numPts();
+                if (cost[a] != cost[b]) return cost[a] > cost[b];
+                return a < b;
             });
-            using Load = std::pair<std::int64_t, int>; // (zones, rank)
+            using Load = std::pair<double, int>; // (cost, rank)
             std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
-            for (int r = 0; r < m_nranks; ++r) heap.emplace(0, r);
+            for (int r = 0; r < m_nranks; ++r) heap.emplace(0.0, r);
             for (std::size_t idx : order) {
-                auto [zones, r] = heap.top();
+                auto [load, r] = heap.top();
                 heap.pop();
                 m_rank[idx] = r;
-                heap.emplace(zones + ba[idx].numPts(), r);
+                heap.emplace(load + cost[idx], r);
             }
             break;
         }
@@ -112,12 +135,52 @@ std::vector<std::int64_t> DistributionMapping::zonesPerRank(const BoxArray& ba) 
     return zones;
 }
 
+std::vector<double> DistributionMapping::costPerRank(
+    const std::vector<double>& cost) const {
+    assert(cost.size() == m_rank.size());
+    std::vector<double> per(m_nranks, 0.0);
+    for (std::size_t i = 0; i < m_rank.size(); ++i) {
+        per[m_rank[i]] += cost[i];
+    }
+    return per;
+}
+
 double DistributionMapping::imbalance(const BoxArray& ba, const DistributionMapping& dm) {
-    auto zones = dm.zonesPerRank(ba);
-    if (zones.empty()) return 1.0;
-    const std::int64_t mx = *std::max_element(zones.begin(), zones.end());
-    const double mean = static_cast<double>(ba.numPts()) / dm.numRanks();
-    return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+    std::vector<double> cost(ba.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+        cost[i] = static_cast<double>(ba[i].numPts());
+    }
+    return imbalance(cost, dm);
+}
+
+double DistributionMapping::imbalance(const std::vector<double>& cost,
+                                      const DistributionMapping& dm) {
+    if (cost.empty() || dm.size() == 0) return 1.0;
+    const auto per = dm.costPerRank(cost);
+    const double mx = *std::max_element(per.begin(), per.end());
+    const double mean =
+        std::accumulate(per.begin(), per.end(), 0.0) / dm.numRanks();
+    return mean > 0 ? mx / mean : 1.0;
+}
+
+std::string DistributionMapping::describeBalance(const std::vector<double>& cost,
+                                                 const DistributionMapping& dm) {
+    std::ostringstream os;
+    if (cost.size() != dm.size() || dm.size() == 0) {
+        os << "balance: (no cost data)";
+        return os.str();
+    }
+    const auto per = dm.costPerRank(cost);
+    const double total = std::accumulate(per.begin(), per.end(), 0.0);
+    const double mean = total / dm.numRanks();
+    os << "balance:";
+    for (int r = 0; r < dm.numRanks(); ++r) {
+        const double share = total > 0 ? 100.0 * per[r] / total : 0.0;
+        os << " r" << r << "=" << per[r] << " (" << share << "%)";
+    }
+    const double mx = *std::max_element(per.begin(), per.end());
+    os << "; max/mean = " << (mean > 0 ? mx / mean : 1.0);
+    return os.str();
 }
 
 } // namespace exa

@@ -3,6 +3,7 @@
 #include "mesh/box_array.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace exa {
@@ -21,6 +22,16 @@ public:
     DistributionMapping(const BoxArray& ba, int nranks,
                         Strategy strategy = Strategy::Sfc);
 
+    // Cost-weighted builder: cost[i] is the measured (or modeled) expense
+    // of box i. Sfc keeps the Morton walk but cuts chunks by cumulative
+    // cost; Knapsack bins largest-cost-first onto the least-loaded rank.
+    // The zone-count constructor above is the cold-start path and
+    // delegates here with cost = numPts, so equal weights reproduce the
+    // unweighted mapping exactly. RoundRobin ignores the weights.
+    DistributionMapping(const BoxArray& ba, int nranks,
+                        const std::vector<double>& cost,
+                        Strategy strategy = Strategy::Knapsack);
+
     int operator[](std::size_t box_index) const { return m_rank[box_index]; }
     std::size_t size() const { return m_rank.size(); }
     int numRanks() const { return m_nranks; }
@@ -36,17 +47,31 @@ public:
     std::vector<int> boxesPerRank() const;
     // Zones owned by each rank (load-balance diagnostic).
     std::vector<std::int64_t> zonesPerRank(const BoxArray& ba) const;
+    // Summed cost owned by each rank under per-box weights.
+    std::vector<double> costPerRank(const std::vector<double>& cost) const;
 
     // Max-over-ranks zones divided by mean zones: 1.0 = perfect balance.
     // This is the quantity behind the paper's "6 ranks don't divide 64
-    // boxes" load-balancing discussion.
+    // boxes" load-balancing discussion. Delegates to the cost-weighted
+    // overload with cost = numPts.
     static double imbalance(const BoxArray& ba, const DistributionMapping& dm);
+    // Max-over-ranks cost divided by mean cost under per-box weights.
+    static double imbalance(const std::vector<double>& cost,
+                            const DistributionMapping& dm);
+
+    // Human-readable balance report: per-rank cost and share plus the
+    // max/mean ratio, for Rebalancer logging and the bench tables.
+    static std::string describeBalance(const std::vector<double>& cost,
+                                       const DistributionMapping& dm);
 
     bool operator==(const DistributionMapping& o) const {
         return m_id == o.m_id || (m_nranks == o.m_nranks && m_rank == o.m_rank);
     }
 
 private:
+    void build(const BoxArray& ba, const std::vector<double>& cost,
+               Strategy strategy);
+
     std::vector<int> m_rank;
     int m_nranks = 1;
     std::uint64_t m_id = 0;

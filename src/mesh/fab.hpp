@@ -29,6 +29,9 @@ public:
     const Box& box() const { return m_box; }
     int nComp() const { return m_ncomp; }
     bool isDefined() const { return m_data != nullptr; }
+    // The arena this fab's payload lives in (null = The_Arena() default).
+    // Lets MultiFab::Redistribute reallocate migrated fabs in kind.
+    Arena* arena() const { return m_arena; }
     Real* dataPtr(int n = 0) { return m_data + static_cast<std::int64_t>(n) * m_box.numPts(); }
     const Real* dataPtr(int n = 0) const {
         return m_data + static_cast<std::int64_t>(n) * m_box.numPts();

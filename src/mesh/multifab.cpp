@@ -120,6 +120,66 @@ void MultiFab::ParallelCopy(const MultiFab& src, const Periodicity& period) {
     ParallelCopy(src, 0, 0, m_ncomp, 0, period);
 }
 
+MultiFab::RedistributeStats MultiFab::Redistribute(const DistributionMapping& new_dm,
+                                                   const char* tag) {
+    assert(new_dm.size() == m_ba.size());
+    RedistributeStats st;
+    if (m_fabs.empty()) return st;
+    if (new_dm.ranks() == m_dm.ranks()) {
+        // Nothing changes owner: keep the current mapping (and its id, so
+        // cached plans stay warm).
+        return st;
+    }
+
+    // Same disjoint BoxArray on both sides, so the cached plan is exactly
+    // one self-intersection item per box — the migration manifest.
+    const auto plan = CopierCache::instance().parallelCopy(
+        m_ba, new_dm, m_ba, m_dm, 0, Periodicity::nonPeriodic());
+
+    // In a distributed run each fab would be packed, shipped, and
+    // reallocated on its new owner; here the "move" is a fresh allocation
+    // (same arena) plus a local copy of the full grown box, which keeps
+    // ghost zones bit-identical across the migration.
+    std::vector<FArrayBox> moved;
+    moved.reserve(m_fabs.size());
+    {
+        StreamScope streams;
+        for (std::size_t i = 0; i < m_fabs.size(); ++i) {
+            streams.useFab(i);
+            const Box gb = fabbox(static_cast<int>(i));
+            FArrayBox fab(gb, m_ncomp, m_fabs[i].arena());
+            fab.copyFrom(m_fabs[i], gb, 0, gb, 0, m_ncomp);
+            moved.push_back(std::move(fab));
+        }
+    }
+
+    const bool account = CommHooks::active();
+    for (const CopyItem& item : plan->items) {
+        if (item.local()) continue;
+        ++st.boxes_moved;
+        const std::int64_t bytes =
+            item.src_box.numPts() * m_ncomp * static_cast<int>(sizeof(Real));
+        st.bytes += bytes;
+        if (account) {
+            CommHooks::notify({item.src_rank, item.dst_rank, bytes, tag});
+        }
+        // Injection site: one migrated payload corrupted in flight — the
+        // first valid zone of the received fab becomes NaN. Plain host
+        // write (not a launch) so Backend::Debug replay passes see
+        // identical state.
+        if (fault::shouldFire(fault::Site::MigrationPayloadCorrupt)) {
+            const Box& vb = m_ba[item.dst_fab];
+            moved[item.dst_fab].array()(vb.smallEnd(0), vb.smallEnd(1),
+                                        vb.smallEnd(2), 0) =
+                std::numeric_limits<Real>::quiet_NaN();
+        }
+    }
+
+    m_fabs = std::move(moved);
+    m_dm = new_dm;
+    return st;
+}
+
 Real MultiFab::sum(int comp) const {
     Real s = 0;
     for (std::size_t i = 0; i < m_fabs.size(); ++i) s += m_fabs[i].sum(m_ba[i], comp);

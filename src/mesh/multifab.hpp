@@ -103,6 +103,24 @@ public:
         const MultiFab& src, int scomp, int dcomp, int ncomp, int dst_ng = 0,
         const Periodicity& period = Periodicity::nonPeriodic());
 
+    // Live-state migration for the load balancer: reassign every box to
+    // its owner under `new_dm` (same BoxArray, new rank table). The full
+    // grown-box payload travels with its box, so contents — ghosts
+    // included — are bit-identical before and after. Off-rank moves are
+    // accounted through the cached ParallelCopy plan exactly like any
+    // other exchange: one MessageRecord per migrated box (valid-region
+    // bytes, tag "rebalance"; ghosts are refilled by the next
+    // FillBoundary in a distributed run, so they are not priced here).
+    // The mapping id changes with the new mapping, so CopierCache plans
+    // keyed on the old id lapse naturally. No-op when the rank tables
+    // are identical.
+    struct RedistributeStats {
+        std::int64_t boxes_moved = 0; // boxes whose owning rank changed
+        std::int64_t bytes = 0;       // off-rank valid-region payload
+    };
+    RedistributeStats Redistribute(const DistributionMapping& new_dm,
+                                   const char* tag = "rebalance");
+
     // Global reductions over valid regions.
     Real sum(int comp = 0) const;
     Real min(int comp = 0) const;

@@ -1,10 +1,26 @@
 #include "mesh/step_guard.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
 namespace exa {
+
+namespace {
+// Depth of nested StepGuard::advance() calls (CastroAmr guards all
+// levels in one scope; the counter tolerates nesting anyway).
+std::atomic<int> g_advance_depth{0};
+
+struct AdvanceScope {
+    AdvanceScope() { g_advance_depth.fetch_add(1, std::memory_order_relaxed); }
+    ~AdvanceScope() { g_advance_depth.fetch_sub(1, std::memory_order_relaxed); }
+};
+} // namespace
+
+bool StepGuard::advanceActive() {
+    return g_advance_depth.load(std::memory_order_relaxed) > 0;
+}
 
 void ValidationReport::add(std::string check, std::string detail) {
     issues.push_back({std::move(check), std::move(detail)});
@@ -47,6 +63,7 @@ StepGuard::Outcome StepGuard::advance(Real dt, const SnapshotFn& snapshot,
                                       const AdvanceFn& advanceFn,
                                       const ValidateFn& validate,
                                       const DegradeFn& degrade) {
+    const AdvanceScope in_advance;
     ++m_stats.steps_guarded;
     m_stats.last_attempts = 0;
     m_stats.last_subcycles = 1;

@@ -128,6 +128,12 @@ public:
     const StepGuardOptions& options() const { return m_opt; }
     const RetryStats& stats() const { return m_stats; }
 
+    // True while any StepGuard::advance() is on the call stack (process-
+    // wide). The Rebalancer consults this: migrating state between a
+    // snapshot and its possible restore would desynchronize the rollback
+    // point, so rebalancing mid-retry is forbidden.
+    static bool advanceActive();
+
 private:
     StepGuardOptions m_opt;
     RetryStats m_stats;
