@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the memcpy-heavy and kernel-contract suites.
+#
+# Builds the tree under EXA_SANITIZE and runs the targeted ctest labels
+# (ROADMAP's CI item): migration and refluxing are memcpy-heavy
+# (rebalance, amr), and the debug-backend reruns replay every kernel in
+# shuffled zone order — the combination is where sanitizers catch what
+# the runtime checkers cannot, and vice versa.
+#
+# Usage:
+#   ci/sanitize.sh                  # ASan+UBSan (default)
+#   ci/sanitize.sh thread           # TSan (cannot combine with address)
+#   ci/sanitize.sh "address;leak"   # any EXA_SANITIZE list
+set -euo pipefail
+
+SAN="${1:-address;undefined}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-sanitize-${SAN//;/-}"
+
+# Repeated `ctest -L` flags AND together; one regex is the union.
+LABELS='rebalance|debug-backend|amr'
+
+cmake -B "${BUILD}" -S "${ROOT}" -DEXA_SANITIZE="${SAN}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)"
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)" -L "${LABELS}"

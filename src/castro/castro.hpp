@@ -102,16 +102,24 @@ private:
     // momentum reflection); runs after the halo delivery in both the
     // fused and the split-phase step.
     void applyPhysBC(MultiFab& s);
-    void hydroAdvance(Real dt);
+    // Returns the wall seconds spent in the RHS compute sweeps (the
+    // stageRhs timings summed), for the cost monitor.
+    double hydroAdvance(Real dt);
     // One RK-stage RHS: ghost fill + molRhs, split-phase (interior sweep
     // overlapping the halo exchange) when comm::asyncHalo() is on.
-    void stageRhs(MultiFab& s, MultiFab& dudt);
+    // Returns wall seconds of the compute sweeps alone — the ghost
+    // exchange and physical-BC work are excluded, so the cost monitor's
+    // Time channel sees hydro compute, not comm waits.
+    double stageRhs(MultiFab& s, MultiFab& dudt);
     // One unguarded advance of size dt (the pre-guard step body); does not
     // touch m_time/m_nstep.
     BurnGridStats advanceOnce(Real dt);
-    // Zones-proportional attribution of one hydro sweep's wall time to
-    // the cost monitor (the hydro loops are MultiFab-wide, so per-fab
-    // timers would only bracket the same proportional split).
+    // Zones-proportional attribution of the hydro compute time to the
+    // cost monitor (the hydro loops are MultiFab-wide, so per-fab timers
+    // would only bracket the same proportional split). `seconds` must be
+    // compute-sweep time only: crediting whole-step wall time would book
+    // fill/halo waits — comm, not hydro — as per-box hydro cost and skew
+    // Time-metric rebalancing toward boxes that wait the longest.
     void creditHydroTime(double seconds);
     // End-of-step rebalance hook: feed the hydro work channel, then let
     // the Rebalancer commit this step's costs and decide.

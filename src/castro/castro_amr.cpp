@@ -1,9 +1,11 @@
 #include "castro/castro_amr.hpp"
 
 #include "castro/validate.hpp"
+#include "core/executor.hpp"
 #include "core/parallel_for.hpp"
 #include "core/timer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <string>
@@ -23,6 +25,11 @@ CastroAmr::CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
       m_guard(opt.guard),
       m_rebalancer(opt.rebalance) {
     m_state.resize(info.max_level + 1);
+    m_state_old.resize(info.max_level + 1);
+    m_flux_reg.resize(info.max_level + 1);
+    m_t_old.assign(info.max_level + 1, 0.0);
+    m_t_new.assign(info.max_level + 1, 0.0);
+    m_advances.assign(info.max_level + 1, 0);
 }
 
 void CastroAmr::init() {
@@ -80,22 +87,60 @@ void CastroAmr::applyPhysBC(int lev, MultiFab& mf) {
     fillPhysicalBoundary(mf, geom(lev), m_opt.bc, odd);
 }
 
-void CastroAmr::fillPatchFrom(int lev, const MultiFab& fine_src, MultiFab& dst) {
+void CastroAmr::fillPatchAtTime(int lev, Real t, const MultiFab& fine_src,
+                                MultiFab& dst) {
     assert(&fine_src != &dst); // interpolation would clobber the source
+    const int nc = m_layout.ncomp();
     if (lev == 0) {
-        dst.ParallelCopy(fine_src, 0, 0, m_layout.ncomp(), 0,
-                         geom(0).periodicity());
+        dst.ParallelCopy(fine_src, 0, 0, nc, 0, geom(0).periodicity());
         dst.FillBoundary(0, dst.nComp(), geom(0).periodicity());
+        applyPhysBC(lev, dst);
+        return;
+    }
+    const MultiFab& cnew = m_state[lev - 1];
+    const MultiFab& cold = m_state_old[lev - 1];
+    const Real t0 = m_t_old[lev - 1];
+    const Real t1 = m_t_new[lev - 1];
+    Real alpha = t1 > t0 ? (t - t0) / (t1 - t0) : 1.0;
+    alpha = std::clamp(alpha, 0.0, 1.0);
+    if (!cold.isDefined()) alpha = 1.0;
+    if (alpha >= 1.0) {
+        fillPatchTwoLevels(dst, fine_src, cnew, geom(lev - 1), geom(lev),
+                           refRatio(), 0, 0, nc, dst.nGrow());
+    } else if (alpha <= 0.0) {
+        fillPatchTwoLevels(dst, fine_src, cold, geom(lev - 1), geom(lev),
+                           refRatio(), 0, 0, nc, dst.nGrow());
     } else {
-        fillPatchTwoLevels(dst, fine_src, m_state[lev - 1], geom(lev - 1),
-                           geom(lev), refRatio(), 0, 0, m_layout.ncomp(),
-                           dst.nGrow());
+        // Linear interpolation in time between the coarse time levels
+        // (fillPatchTwoLevels reads only coarse valid zones, which is
+        // exactly what LinComb fills).
+        MultiFab ctmp(cnew.boxArray(), cnew.distributionMap(), nc, 0);
+        MultiFab::LinComb(ctmp, 1.0 - alpha, cold, alpha, cnew, 0, nc);
+        fillPatchTwoLevels(dst, fine_src, ctmp, geom(lev - 1), geom(lev),
+                           refRatio(), 0, 0, nc, dst.nGrow());
     }
     applyPhysBC(lev, dst);
 }
 
+void CastroAmr::fillPatchFrom(int lev, const MultiFab& fine_src, MultiFab& dst) {
+    fillPatchAtTime(lev, lev > 0 ? m_t_new[lev - 1] : m_time, fine_src, dst);
+}
+
 void CastroAmr::fillPatch(int lev, MultiFab& dst) {
     fillPatchFrom(lev, m_state[lev], dst);
+}
+
+void CastroAmr::resetLevelCompanions(int lev) {
+    const MultiFab& s = m_state[lev];
+    m_state_old[lev].define(s.boxArray(), s.distributionMap(), s.nComp(),
+                            s.nGrow());
+    MultiFab::Copy(m_state_old[lev], s, 0, 0, s.nComp(), s.nGrow());
+    m_t_old[lev] = m_time;
+    m_t_new[lev] = m_time;
+    if (lev > 0) {
+        m_flux_reg[lev].define(s.boxArray(), s.distributionMap(), refRatio(),
+                               m_layout.ncomp());
+    }
 }
 
 void CastroAmr::MakeNewLevelFromScratch(int lev, const BoxArray& ba,
@@ -103,6 +148,7 @@ void CastroAmr::MakeNewLevelFromScratch(int lev, const BoxArray& ba,
     m_state[lev].define(ba, dm, m_layout.ncomp(), m_opt.ngrow);
     m_state[lev].setVal(0.0);
     initLevelData(lev, m_state[lev]);
+    resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
 }
 
@@ -117,6 +163,7 @@ void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
                        geom(lev - 1), geom(lev), refRatio(), 0, 0,
                        m_layout.ncomp());
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+    resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
 }
 
@@ -129,11 +176,14 @@ void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
                        geom(lev), refRatio(), 0, 0, m_layout.ncomp());
     m_state[lev] = std::move(newstate);
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+    resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
 }
 
 void CastroAmr::ClearLevel(int lev) {
     m_state[lev].clear();
+    m_state_old[lev].clear();
+    m_flux_reg[lev].clear();
     m_rebalancer.noteRegrid(lev, 0);
 }
 
@@ -142,115 +192,190 @@ void CastroAmr::ErrorEst(int lev, MultiFab& tags) {
 }
 
 Real CastroAmr::estimateDt() const {
+    // Level-0 dt: each level's CFL limit scaled back up by its substep
+    // count, minimized over levels.
     Real dt = std::numeric_limits<Real>::infinity();
+    Real scale = 1.0;
     for (int lev = 0; lev <= finestLevel(); ++lev) {
-        dt = std::min(dt, castro::estimateDt(m_state[lev], geom(lev), m_net, m_eos,
-                                             m_opt.cfl));
+        dt = std::min(dt, scale * castro::estimateDt(m_state[lev], geom(lev),
+                                                     m_net, m_eos, m_opt.cfl));
+        if (subcycle) scale *= refRatio();
     }
     return dt;
 }
 
-void CastroAmr::advanceLevel(int lev, Real dt) {
+void CastroAmr::advanceLevel(int lev, Real time, Real dt, BurnGridStats& burn,
+                             CostMonitor* cost) {
     const int nc = m_layout.ncomp();
     MultiFab& s = m_state[lev];
+
+    // Rotate time levels: the pre-step state becomes the old time, so
+    // finer levels can interpolate ghosts anywhere in [time, time + dt].
+    MultiFab::Copy(m_state_old[lev], s, 0, 0, nc, s.nGrow());
+    m_t_old[lev] = time;
+    m_t_new[lev] = time + dt;
+
+    auto accumulate = [&](BurnGridStats b) {
+        if (b.first_failure.valid) b.first_failure.level = lev;
+        burn.merge(b);
+    };
+
+    // Strang half-burn (per level: each level splits around its own dt).
+    if (m_opt.do_react) {
+        accumulate(reactState(s, m_net, m_eos, 0.5 * dt, m_opt.react, cost, lev));
+    }
+
+    // Face fluxes are needed whenever a register borders this level:
+    // above (we are the coarse side of lev+1's register) or below (we
+    // are the fine side of our own).
+    const bool crse_side = reflux && lev < finestLevel();
+    const bool fine_side = reflux && lev > 0;
+    std::array<MultiFab, 3> flux;
+    std::array<MultiFab, 3>* fluxp = nullptr;
+    if (crse_side || fine_side) {
+        flux = makeFluxFabs(s.boxArray(), s.distributionMap(), nc);
+        fluxp = &flux;
+    }
+
     MultiFab dudt(s.boxArray(), s.distributionMap(), nc, 0);
     MultiFab u1(s.boxArray(), s.distributionMap(), nc, 0);
     // Ghost-bearing working copy (AMReX's "Sborder" pattern): the state
     // itself never receives interpolated data over its valid zones.
     MultiFab sborder(s.boxArray(), s.distributionMap(), nc, s.nGrow());
 
-    fillPatchFrom(lev, s, sborder);
-    molRhs(sborder, dudt, geom(lev), m_net, m_eos);
+    // One RHS sweep: fill ghosts at `at`, run the per-fab compute loop
+    // (timing only the compute — the fill's halo waits are comm, not
+    // hydro cost), and bank this stage's fluxes in the registers. Both
+    // SSP-RK2 stages enter the update with weight 1/2, so each stage's
+    // flux carries w = 0.5 of its level's dt: negative on the coarse
+    // side, positive (area-averaged) on the fine side.
+    auto sweep = [&](const MultiFab& src, Real at, Real w) {
+        fillPatchAtTime(lev, at, src, sborder);
+        {
+            StreamScope streams;
+            for (std::size_t f = 0; f < s.size(); ++f) {
+                streams.useFab(f);
+                const int fi = static_cast<int>(f);
+                CostMonitor::ScopedFabTimer t(cost, lev, fi);
+                molRhsRegion(sborder, dudt, fi, s.box(fi), geom(lev), m_net,
+                             m_eos, fluxp, m_opt.reconstruction);
+            }
+        }
+        if (crse_side && m_flux_reg[lev + 1].isDefined()) {
+            m_flux_reg[lev + 1].CrseAdd(flux, -w * dt);
+        }
+        if (fine_side && m_flux_reg[lev].isDefined()) {
+            m_flux_reg[lev].FineAdd(flux, w * dt);
+        }
+    };
+
+    sweep(s, time, 0.5);
     MultiFab::Copy(u1, s, 0, 0, nc, 0);
     u1.saxpy(dt, dudt, 0, 0, nc);
     enforceConsistency(u1, m_net, m_eos, m_opt.small_dens);
 
-    // Second RK stage: ghosts of u1 from {u1, coarse OLD state} — the
-    // first-order-in-time coarse/fine coupling of non-subcycled stepping.
-    fillPatchFrom(lev, u1, sborder);
-    molRhs(sborder, dudt, geom(lev), m_net, m_eos);
+    // Second RK stage: ghosts of u1 at the end-of-step time (coarse data
+    // time-interpolated across the coarse bracket under subcycling).
+    sweep(u1, time + dt, 0.5);
     u1.saxpy(dt, dudt, 0, 0, nc);
     MultiFab::LinComb(s, 0.5, s, 0.5, u1, 0, nc);
     enforceConsistency(s, m_net, m_eos, m_opt.small_dens);
+
+    if (m_opt.do_react) {
+        accumulate(reactState(s, m_net, m_eos, 0.5 * dt, m_opt.react, cost, lev));
+    }
+
+    ++m_advances[lev];
 }
 
-BurnGridStats CastroAmr::advanceOnce(Real dt) {
+void CastroAmr::timeStep(int lev, Real time, Real dt, BurnGridStats& burn,
+                         CostMonitor* cost) {
+    // The register below lev+1 collects this coarse step's mismatch from
+    // scratch (self-cleaning also makes StepGuard rollback trivial: a
+    // re-advance re-zeroes before re-accumulating).
+    if (reflux && lev < finestLevel() && m_flux_reg[lev + 1].isDefined()) {
+        m_flux_reg[lev + 1].setVal(0.0);
+    }
+
+    advanceLevel(lev, time, dt, burn, cost);
+
+    if (lev < finestLevel()) {
+        const int nsub = subcycle ? refRatio() : 1;
+        const Real sub_dt = dt / nsub;
+        for (int i = 0; i < nsub; ++i) {
+            timeStep(lev + 1, time + i * sub_dt, sub_dt, burn, cost);
+        }
+        // Sync point: repay the coarse zones that advanced with the
+        // uncorrected coarse flux, overwrite covered zones with the fine
+        // average, and restore EOS consistency on the merged state (the
+        // post-burn averageDown used to skip this — covered-zone
+        // temperatures drifted off the EOS).
+        if (reflux && m_flux_reg[lev + 1].isDefined()) {
+            m_flux_reg[lev + 1].Reflux(m_state[lev], geom(lev));
+        }
+        averageDown(m_state[lev], m_state[lev + 1], refRatio(), 0, 0,
+                    m_layout.ncomp());
+        enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
+    }
+}
+
+BurnGridStats CastroAmr::advanceOnce(Real t0, Real dt) {
     BurnGridStats burn;
     CostMonitor* cost =
         m_opt.rebalance.enabled ? &m_rebalancer.monitor() : nullptr;
-    auto accumulate = [&](BurnGridStats b, int lev) {
-        if (b.first_failure.valid) b.first_failure.level = lev;
-        burn.merge(b);
-    };
-    auto creditHydroTime = [&](int lev, double seconds) {
-        // Zones-proportional attribution of one level sweep's wall time.
-        if (cost == nullptr) return;
-        const BoxArray& ba = m_state[lev].boxArray();
-        const double total = static_cast<double>(ba.numPts());
-        if (total <= 0) return;
-        for (std::size_t f = 0; f < ba.size(); ++f) {
-            cost->addTime(lev, static_cast<int>(f),
-                          seconds * static_cast<double>(ba[f].numPts()) / total);
-        }
-    };
-
-    // Strang half-burn on every level (finest last so averaging wins).
-    if (m_opt.do_react) {
-        for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt,
-                                  m_opt.react, cost, lev),
-                       lev);
-        }
-    }
-    // Hydro, coarse to fine, then synchronize by averaging down.
-    for (int lev = 0; lev <= finestLevel(); ++lev) {
-        WallTimer hydro_timer;
-        advanceLevel(lev, dt);
-        creditHydroTime(lev, hydro_timer.seconds());
-    }
-    for (int lev = finestLevel(); lev > 0; --lev) {
-        averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
-                    m_layout.ncomp());
-        enforceConsistency(m_state[lev - 1], m_net, m_eos, m_opt.small_dens);
-    }
-    if (m_opt.do_react) {
-        for (int lev = 0; lev <= finestLevel(); ++lev) {
-            accumulate(reactState(m_state[lev], m_net, m_eos, 0.5 * dt,
-                                  m_opt.react, cost, lev),
-                       lev);
-        }
-        for (int lev = finestLevel(); lev > 0; --lev) {
-            averageDown(m_state[lev - 1], m_state[lev], refRatio(), 0, 0,
-                        m_layout.ncomp());
-        }
-    }
-
+    timeStep(0, t0, dt, burn, cost);
     return burn;
 }
 
 BurnGridStats CastroAmr::step(Real dt) {
     BurnGridStats burn;
+    bool degraded = false;
     if (!m_guard.options().enabled) {
-        burn = advanceOnce(dt);
+        burn = advanceOnce(m_time, dt);
     } else {
-        // Snapshot every level; restore requires the BoxArrays to be
+        // Snapshot every level's state and time bracket (and the register
+        // payloads, after all the states so degrade's snap.mf(lev)
+        // indexing is undisturbed); restore requires the BoxArrays to be
         // unchanged, which holds because regridding happens only below,
         // after the guarded step is accepted.
-        m_guard.advance(
+        const auto outcome = m_guard.advance(
             dt,
             [&](StateSnapshot& snap) {
                 for (int lev = 0; lev <= finestLevel(); ++lev) {
                     snap.capture(m_state[lev]);
+                    snap.captureScalar(m_t_old[lev]);
+                    snap.captureScalar(m_t_new[lev]);
+                }
+                for (int lev = 1; lev <= finestLevel(); ++lev) {
+                    if (!m_flux_reg[lev].isDefined()) continue;
+                    for (int d = 0; d < 3; ++d) {
+                        snap.capture(m_flux_reg[lev].mf(d));
+                    }
                 }
             },
             [&](const StateSnapshot& snap) {
+                std::size_t idx = 0;
                 for (int lev = 0; lev <= finestLevel(); ++lev) {
                     snap.restoreTo(static_cast<std::size_t>(lev), m_state[lev]);
+                    m_t_old[lev] = snap.scalar(2 * idx);
+                    m_t_new[lev] = snap.scalar(2 * idx + 1);
+                    ++idx;
+                }
+                std::size_t mf_idx = static_cast<std::size_t>(finestLevel()) + 1;
+                for (int lev = 1; lev <= finestLevel(); ++lev) {
+                    if (!m_flux_reg[lev].isDefined()) continue;
+                    for (int d = 0; d < 3; ++d) {
+                        snap.restoreTo(mf_idx++, m_flux_reg[lev].mf(d));
+                    }
                 }
             },
             [&](Real sub_dt, int nsub) {
                 burn = BurnGridStats{};
-                for (int s = 0; s < nsub; ++s) burn.merge(advanceOnce(sub_dt));
+                Real t = m_time;
+                for (int s = 0; s < nsub; ++s) {
+                    burn.merge(advanceOnce(t, sub_dt));
+                    t += sub_dt;
+                }
             },
             [&] {
                 ValidationReport rep;
@@ -268,6 +393,7 @@ BurnGridStats CastroAmr::step(Real dt) {
                 return rep;
             },
             [&](const StateSnapshot& snap, bool advance_threw) {
+                degraded = true;
                 if (!advance_threw) {
                     for (int lev = 0; lev <= finestLevel(); ++lev) {
                         repairInvalidZones(m_state[lev],
@@ -276,12 +402,28 @@ BurnGridStats CastroAmr::step(Real dt) {
                         enforceConsistency(m_state[lev], m_net, m_eos,
                                            m_opt.small_dens);
                     }
+                    // Zone repairs act level-locally; re-average so coarse
+                    // data under fine grids reflects the repaired fine
+                    // state before the run continues.
+                    for (int lev = finestLevel(); lev > 0; --lev) {
+                        averageDown(m_state[lev - 1], m_state[lev], refRatio(),
+                                    0, 0, m_layout.ncomp());
+                        enforceConsistency(m_state[lev - 1], m_net, m_eos,
+                                           m_opt.small_dens);
+                    }
                 }
             });
+        (void)outcome;
     }
 
     m_time += dt;
     ++m_nstep;
+    // Every accepted step ends at a sync point: the mask-aware hierarchy
+    // sums and the level-0 shortcut must agree to round-off. (A degraded
+    // step re-averaged after repair, so it qualifies too; the check is
+    // debug-build only.)
+    assert(degraded || finestLevel() == 0 || syncPointSumsAgree());
+    (void)degraded;
     if (regrid_interval > 0 && m_nstep % regrid_interval == 0 && maxLevel() > 0) {
         regrid(0);
     }
@@ -302,22 +444,70 @@ void CastroAmr::maybeRebalance() {
                         m_opt.rebalance.hydro_zone_work *
                             static_cast<double>(ba[f].numPts()));
         }
-        const auto d = m_rebalancer.step(lev, m_nstep, {&m_state[lev]});
+        // The old-time state migrates with the state (same layout); the
+        // flux register is redefined on the new mapping afterwards — its
+        // contents are dead between sync points.
+        std::vector<MultiFab*> fabs{&m_state[lev]};
+        if (m_state_old[lev].isDefined()) fabs.push_back(&m_state_old[lev]);
+        const auto d = m_rebalancer.step(lev, m_nstep, fabs);
         if (d.performed) {
             // Keep AmrCore's per-level mapping (used by the next regrid
             // and by fillPatch temporaries) in sync with the migration.
             m_dm[lev] = m_state[lev].distributionMap();
+            if (lev > 0) {
+                m_flux_reg[lev].define(m_state[lev].boxArray(),
+                                       m_state[lev].distributionMap(),
+                                       refRatio(), m_layout.ncomp());
+            }
         }
     }
 }
 
-Real CastroAmr::totalMass() const {
-    return m_state[0].sum(StateLayout::URHO) * geom(0).cellVolume();
+Real CastroAmr::maskedSum(int comp) const {
+    Real total = 0.0;
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        const Real vol = geom(lev).cellVolume();
+        BoxArray covered; // next-finer boxes in this level's index space
+        if (lev < finestLevel()) {
+            covered = boxArray(lev + 1);
+            covered.coarsen(refRatio());
+        }
+        const MultiFab& s = m_state[lev];
+        for (std::size_t f = 0; f < s.size(); ++f) {
+            const int fi = static_cast<int>(f);
+            std::vector<Box> pieces{s.box(fi)};
+            for (const auto& [j, isect] : covered.intersections(s.box(fi))) {
+                (void)isect;
+                std::vector<Box> next;
+                for (const Box& p : pieces) {
+                    for (const Box& q : boxDiff(p, covered[j])) next.push_back(q);
+                }
+                pieces = std::move(next);
+                if (pieces.empty()) break;
+            }
+            for (const Box& p : pieces) {
+                total += s.fab(fi).sum(p, comp) * vol;
+            }
+        }
+    }
+    return total;
 }
 
-Real CastroAmr::totalEnergy() const {
-    return m_state[0].sum(StateLayout::UEDEN) * geom(0).cellVolume();
+bool CastroAmr::syncPointSumsAgree(Real rtol) const {
+    for (const int comp : {StateLayout::URHO, StateLayout::UEDEN}) {
+        const Real hier = maskedSum(comp);
+        const Real lev0 = m_state[0].sum(comp) * geom(0).cellVolume();
+        const Real scale = std::max(std::abs(hier), std::abs(lev0));
+        if (std::abs(hier - lev0) > rtol * std::max(scale, Real(1.0))) {
+            return false;
+        }
+    }
+    return true;
 }
+
+Real CastroAmr::totalMass() const { return maskedSum(StateLayout::URHO); }
+
+Real CastroAmr::totalEnergy() const { return maskedSum(StateLayout::UEDEN); }
 
 Real CastroAmr::maxTemperature() const {
     Real t = 0.0;

@@ -86,6 +86,52 @@ BoxArray AmrCore::makeFineBoxes(int lev) {
             nested.push_back(isect);
         }
     }
+    // And strictly inside it: keep fine grids n_proper zones away from the
+    // union's boundary (level 0 covers its domain, so nothing to do
+    // there), or the zone just outside a coarse/fine face — the one
+    // refluxing corrects and ghost interpolation reads — would not exist
+    // on this level. Subtract the grown complement of the union, periodic
+    // images included.
+    if (m_info.n_proper > 0 && lev > 0) {
+        const Box& dom = m_geom[lev].domain();
+        std::vector<Box> comp{dom};
+        for (std::size_t i = 0; i < m_ba[lev].size(); ++i) {
+            std::vector<Box> next;
+            for (const Box& c : comp)
+                for (const Box& q : boxDiff(c, m_ba[lev][i])) next.push_back(q);
+            comp.swap(next);
+        }
+        std::vector<Box> forbidden;
+        for (const Box& c : comp) {
+            const Box g = grow(c, m_info.n_proper);
+            for (int sk : {-1, 0, 1})
+                for (int sj : {-1, 0, 1})
+                    for (int si : {-1, 0, 1}) {
+                        if ((si != 0 && !m_geom[lev].isPeriodic(0)) ||
+                            (sj != 0 && !m_geom[lev].isPeriodic(1)) ||
+                            (sk != 0 && !m_geom[lev].isPeriodic(2))) {
+                            continue;
+                        }
+                        Box s = g;
+                        s.shift(0, si * dom.length(0));
+                        s.shift(1, sj * dom.length(1));
+                        s.shift(2, sk * dom.length(2));
+                        if (s.intersects(dom)) forbidden.push_back(s & dom);
+                    }
+        }
+        std::vector<Box> shrunk;
+        for (const Box& b : nested) {
+            std::vector<Box> pieces{b};
+            for (const Box& f : forbidden) {
+                std::vector<Box> next;
+                for (const Box& p : pieces)
+                    for (const Box& q : boxDiff(p, f)) next.push_back(q);
+                pieces.swap(next);
+            }
+            shrunk.insert(shrunk.end(), pieces.begin(), pieces.end());
+        }
+        nested.swap(shrunk);
+    }
     BoxArray fine(std::move(nested));
     fine.refine(m_info.ref_ratio);
     fine.maxSize(m_info.max_grid_size);

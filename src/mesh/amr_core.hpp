@@ -15,6 +15,11 @@ struct AmrInfo {
     int blocking_factor = 8;  // box side quantum on each level
     int max_grid_size = 32;   // max box side on each level
     int n_error_buf = 1;      // zones to buffer around tagged zones
+    // Proper-nesting buffer: fine grids must stay this many parent-level
+    // zones inside the parent union (where the parent does not cover its
+    // whole domain), so the zone outside every coarse/fine face exists on
+    // the parent — refluxing corrects it, ghost interpolation reads it.
+    int n_proper = 1;
     int nranks = 1;           // simulated ranks for distribution mappings
     DistributionMapping::Strategy strategy = DistributionMapping::Strategy::Sfc;
 };

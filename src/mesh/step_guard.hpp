@@ -98,8 +98,18 @@ public:
     void restoreTo(std::size_t i, MultiFab& dst) const;
     const MultiFab& mf(std::size_t i) const { return m_copies[i]; }
 
+    // Scalar side channel for non-MultiFab rollback state (per-level
+    // times of a subcycled hierarchy). Same index discipline as capture().
+    std::size_t captureScalar(Real v) {
+        m_scalars.push_back(v);
+        return m_scalars.size() - 1;
+    }
+    Real scalar(std::size_t i) const { return m_scalars.at(i); }
+    std::size_t scalarCount() const { return m_scalars.size(); }
+
 private:
     std::vector<MultiFab> m_copies;
+    std::vector<Real> m_scalars;
     std::int64_t m_bytes = 0;
 };
 

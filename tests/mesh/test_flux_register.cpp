@@ -1,0 +1,205 @@
+#include "mesh/flux_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace exa;
+
+namespace {
+
+// Register for one fine box (fine index space) over ratio 2.
+FluxRegister makeReg(const Box& fine_box, int ncomp = 2, int nranks = 2) {
+    BoxArray fba(fine_box);
+    DistributionMapping fdm(fba, nranks);
+    FluxRegister reg;
+    reg.define(fba, fdm, 2, ncomp);
+    return reg;
+}
+
+} // namespace
+
+TEST(FluxRegister, DefineBuildsCoarsenedFaceBoxes) {
+    // Fine box {4..11}^3 at ratio 2 -> coarse image {2..5}^3; the d=0
+    // register fab covers its x faces {2..6} x {2..5} x {2..5}.
+    FluxRegister reg = makeReg(Box({4, 4, 4}, {11, 11, 11}));
+    ASSERT_TRUE(reg.isDefined());
+    EXPECT_EQ(reg.ratio(), 2);
+    ASSERT_EQ(reg.crseBoxArray().size(), 1u);
+    EXPECT_EQ(reg.crseBoxArray()[0], Box({2, 2, 2}, {5, 5, 5}));
+    EXPECT_EQ(reg.mf(0).box(0), Box({2, 2, 2}, {6, 5, 5}));
+    EXPECT_EQ(reg.mf(1).box(0), Box({2, 2, 2}, {5, 6, 5}));
+    EXPECT_EQ(reg.mf(2).box(0), Box({2, 2, 2}, {5, 5, 6}));
+    EXPECT_EQ(reg.absSum(), 0.0);
+}
+
+TEST(FluxRegister, CoincidentFluxesCancelExactly) {
+    // When the area-averaged fine flux equals the coarse flux on every
+    // interface face (both uniform here), the accumulated mismatch is
+    // exactly zero: -F + (0.5 + 0.5) * <F> = 0 in floating point too.
+    const int nc = 2;
+    const Box fine_box({4, 4, 4}, {11, 11, 11});
+    FluxRegister reg = makeReg(fine_box, nc);
+
+    BoxArray cba(Box({0, 0, 0}, {7, 7, 7}));
+    cba.maxSize(4);
+    DistributionMapping cdm(cba, 2);
+    auto crse_flux = makeFluxFabs(cba, cdm, nc);
+    for (auto& mf : crse_flux) mf.setVal(3.0);
+
+    BoxArray fba(fine_box);
+    DistributionMapping fdm(fba, 2);
+    auto fine_flux = makeFluxFabs(fba, fdm, nc);
+    for (auto& mf : fine_flux) mf.setVal(3.0);
+
+    reg.CrseAdd(crse_flux, -1.0);      // one coarse step, stages folded
+    reg.FineAdd(fine_flux, 0.5);       // substep 1
+    reg.FineAdd(fine_flux, 0.5);       // substep 2
+    EXPECT_EQ(reg.absSum(), 0.0);
+}
+
+TEST(FluxRegister, CrseAddCountsSharedCoarseFacesOnce) {
+    // Adjacent coarse boxes both carry their shared face in their flux
+    // fabs; the register must gather it once, not add both copies.
+    const int nc = 1;
+    FluxRegister reg = makeReg(Box({4, 4, 4}, {11, 11, 11}), nc);
+
+    BoxArray cba(Box({0, 0, 0}, {7, 7, 7}));
+    cba.maxSize(4); // boxes split at x=4: shared face plane x=4
+    DistributionMapping cdm(cba, 2);
+    auto crse_flux = makeFluxFabs(cba, cdm, nc);
+    for (auto& mf : crse_flux) mf.setVal(5.0);
+
+    reg.CrseAdd(crse_flux, 1.0);
+    // Every register face (x faces {2..6}, incl. the shared plane x=4)
+    // holds exactly 5.0.
+    auto a = reg.mf(0).const_array(0);
+    const Box& fb = reg.mf(0).box(0);
+    for (int k = fb.smallEnd(2); k <= fb.bigEnd(2); ++k)
+        for (int j = fb.smallEnd(1); j <= fb.bigEnd(1); ++j)
+            for (int i = fb.smallEnd(0); i <= fb.bigEnd(0); ++i)
+                ASSERT_EQ(a(i, j, k, 0), 5.0) << i << ' ' << j << ' ' << k;
+}
+
+TEST(FluxRegister, FineAddAreaAveragesFineFaces) {
+    // Fine x-fluxes varying with j: the register face gets the mean of
+    // the ratio^2 fine faces under it, times the scale.
+    const int nc = 1;
+    const Box fine_box({0, 0, 0}, {3, 3, 3});
+    FluxRegister reg = makeReg(fine_box, nc);
+
+    BoxArray fba(fine_box);
+    DistributionMapping fdm(fba, 2);
+    auto fine_flux = makeFluxFabs(fba, fdm, nc);
+    for (auto& mf : fine_flux) mf.setVal(0.0);
+    {
+        auto f = fine_flux[0].array(0);
+        const Box& fb = fine_flux[0].box(0);
+        for (int k = fb.smallEnd(2); k <= fb.bigEnd(2); ++k)
+            for (int j = fb.smallEnd(1); j <= fb.bigEnd(1); ++j)
+                for (int i = fb.smallEnd(0); i <= fb.bigEnd(0); ++i)
+                    f(i, j, k, 0) = 1.0 + j;
+    }
+    reg.FineAdd(fine_flux, 2.0);
+    // Coarse face (0,0,0): fine faces j in {0,1} -> values {1,2}, mean
+    // 1.5; scaled by 2.0 -> 3. Coarse face (0,1,0): j in {2,3} -> 3.5*2.
+    auto r = reg.mf(0).const_array(0);
+    EXPECT_DOUBLE_EQ(r(0, 0, 0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(r(0, 1, 0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(r(1, 0, 0, 0), 3.0);
+    // y-register untouched by the x-flux fill.
+    EXPECT_EQ(reg.mf(1).const_array(0)(0, 0, 0, 0), 0.0);
+}
+
+TEST(FluxRegister, RefluxCorrectsOnlyUncoveredNeighborZones) {
+    // Constant register payload c: the coarse zone just outside each fine
+    // face gains -+ c/dx; covered zones and zones off the transverse
+    // extent stay untouched.
+    const int nc = 1;
+    const Real c = 2.0;
+    FluxRegister reg = makeReg(Box({4, 4, 4}, {11, 11, 11}), nc);
+    reg.setVal(c);
+
+    const Box dom({0, 0, 0}, {7, 7, 7});
+    Geometry geom(dom, {0, 0, 0}, {1, 1, 1});
+    BoxArray cba(dom);
+    cba.maxSize(4);
+    DistributionMapping cdm(cba, 2);
+    MultiFab crse(cba, cdm, nc, 0);
+    crse.setVal(0.0);
+
+    reg.Reflux(crse, geom);
+
+    const Real dxinv = 8.0;
+    auto value = [&](int i, int j, int k) {
+        for (std::size_t f = 0; f < crse.size(); ++f) {
+            if (crse.box(static_cast<int>(f)).contains(i, j, k)) {
+                return crse.const_array(static_cast<int>(f))(i, j, k, 0);
+            }
+        }
+        ADD_FAILURE() << "zone not found";
+        return 0.0;
+    };
+    // Low-side x neighbor: -c/dx; high-side: +c/dx.
+    EXPECT_DOUBLE_EQ(value(1, 3, 3), -c * dxinv);
+    EXPECT_DOUBLE_EQ(value(6, 3, 3), c * dxinv);
+    // Low-side y neighbor.
+    EXPECT_DOUBLE_EQ(value(3, 1, 3), -c * dxinv);
+    // Covered zones and zones outside the transverse extent: untouched.
+    EXPECT_EQ(value(3, 3, 3), 0.0);
+    EXPECT_EQ(value(1, 1, 3), 0.0);
+    EXPECT_EQ(value(0, 3, 3), 0.0);
+}
+
+TEST(FluxRegister, RefluxHonorsDomainEdges) {
+    // A fine box hugging the x-low domain edge: the outside zone of its
+    // low face is beyond the domain. Non-periodic geometry drops the
+    // correction; periodic geometry wraps it to the far side.
+    const int nc = 1;
+    const Real c = 4.0;
+    const Box dom({0, 0, 0}, {7, 7, 7});
+    BoxArray cba(dom);
+    cba.maxSize(4);
+    DistributionMapping cdm(cba, 2);
+
+    for (const bool periodic : {false, true}) {
+        FluxRegister reg = makeReg(Box({0, 0, 0}, {7, 7, 7}), nc); // crse {0..3}^3
+        reg.setVal(c);
+        Geometry geom(dom, {0, 0, 0}, {1, 1, 1},
+                      periodic ? IntVect{1, 1, 1} : IntVect{0, 0, 0});
+        MultiFab crse(cba, cdm, nc, 0);
+        crse.setVal(0.0);
+        reg.Reflux(crse, geom);
+
+        const Real dxinv = 8.0;
+        auto value = [&](int i, int j, int k) {
+            for (std::size_t f = 0; f < crse.size(); ++f) {
+                if (crse.box(static_cast<int>(f)).contains(i, j, k)) {
+                    return crse.const_array(static_cast<int>(f))(i, j, k, 0);
+                }
+            }
+            return std::numeric_limits<Real>::quiet_NaN();
+        };
+        // Interior high-side face at x=4 corrects zone 4 either way.
+        EXPECT_DOUBLE_EQ(value(4, 2, 2), c * dxinv) << "periodic=" << periodic;
+        // The low face at x=0: its outside zone is x=-1 -> wraps to 7.
+        // One wrapped contribution per dimension lands on each far-edge
+        // plane; probe a zone touched only by the x wrap.
+        if (periodic) {
+            EXPECT_DOUBLE_EQ(value(7, 2, 2), -c * dxinv);
+        } else {
+            EXPECT_EQ(value(7, 2, 2), 0.0);
+        }
+    }
+}
+
+TEST(FluxRegister, SetValAndClearResetState) {
+    FluxRegister reg = makeReg(Box({0, 0, 0}, {3, 3, 3}), 2);
+    reg.setVal(1.5);
+    EXPECT_GT(reg.absSum(), 0.0);
+    reg.setVal(0.0);
+    EXPECT_EQ(reg.absSum(), 0.0);
+    reg.clear();
+    EXPECT_FALSE(reg.isDefined());
+}

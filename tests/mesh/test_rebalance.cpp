@@ -8,7 +8,9 @@
 #include "core/debug.hpp"
 #include "core/executor.hpp"
 #include "core/fault.hpp"
+#include "core/timer.hpp"
 #include "maestro/maestro.hpp"
+#include "mesh/comm_hooks.hpp"
 #include "mesh/distribution.hpp"
 #include "mesh/multifab.hpp"
 #include "mesh/rebalance/rebalancer.hpp"
@@ -17,9 +19,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <random>
+#include <thread>
 #include <vector>
 
 using namespace exa;
@@ -554,6 +558,44 @@ TEST(RebalanceDrivers, CastroGuardedStepIdenticalWithUniformCostRebalancing) {
     // be bit-identical with the subsystem enabled.
     EXPECT_EQ(on->rebalancer().stats().rebalances, 0);
     expectIdentical(off->state(), on->state());
+}
+
+TEST(RebalanceDrivers, CastroTimeMetricCreditsComputeNotCommWaits) {
+    // Regression: the hydro Time channel used to be fed the whole
+    // hydroAdvance wall time — ghost-exchange waits included — booked
+    // per box as hydro cost. With slow comm that skews Time-metric
+    // rebalancing toward whichever boxes wait longest. Inflate every
+    // halo message with a sleep and check the credited hydro seconds
+    // stay at compute scale, far below the step's wall time.
+    auto net = makeIgnitionSimple();
+    castro::SedovParams q;
+    q.ncell = 16;
+    q.max_grid_size = 8;
+    q.nranks = 4;
+    q.rebalance.enabled = true;
+    q.rebalance.warmup_steps = 100; // never migrate: we only read the monitor
+    q.rebalance.cost.metric = CostMetric::Time;
+    auto c = castro::makeSedov(q, net);
+
+    CommHooks::setMessageHook([](const MessageRecord&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    const Real dt = c->estimateDt();
+    const int nsteps = 2;
+    WallTimer wall;
+    for (int s = 0; s < nsteps; ++s) c->step(dt);
+    const double wall_s = wall.seconds();
+    CommHooks::clearMessageHook();
+
+    const auto costs = c->rebalancer().monitor().costs(0);
+    ASSERT_FALSE(costs.empty());
+    const double credited = std::accumulate(costs.begin(), costs.end(), 0.0);
+    // The sleeps actually dominated the run...
+    ASSERT_GT(wall_s, 0.02 * nsteps);
+    // ...and none of that wait landed in the per-box hydro costs (the EMA
+    // holds roughly one step's credit; whole-wall crediting would put it
+    // at per-step wall scale).
+    EXPECT_LT(credited, 0.5 * wall_s / nsteps);
 }
 
 TEST(RebalanceDrivers, MaestroAdvanceIdenticalWithUniformCostRebalancing) {
