@@ -2,15 +2,18 @@
 // contact point heats until carbon ignites. A scaled-down version of the
 // paper's Figure 4 run with the 13-isotope network.
 //
-// Run:  ./wd_collision [ncell]
+// Run:  ./wd_collision [ncell] [network]
 //
-// Prints the approach, contact, and heating history; writes an x-axis
-// line-out of density and temperature at the end (wd_lineout.csv).
+// `network` is any name in the NetworkRegistry (aprox13 by default; try
+// iso7 for the cheap reduced chain or aprox19 for the full 19-isotope
+// set). Prints the approach, contact, and heating history; writes an
+// x-axis line-out of density and temperature at the end (wd_lineout.csv).
 
 #include "castro/wd_collision.hpp"
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 using namespace exa;
 using namespace exa::castro;
@@ -18,7 +21,6 @@ using namespace exa::castro;
 int main(int argc, char** argv) {
     const int ncell = argc > 1 ? std::atoi(argv[1]) : 24;
 
-    auto net = makeAprox13();
     WdCollisionParams p;
     p.ncell = ncell;
     p.max_grid_size = std::max(8, ncell / 2);
@@ -26,13 +28,20 @@ int main(int argc, char** argv) {
     p.domain_width = 8.0e9;
     p.separation_in_diameters = 1.3;
     p.approach_velocity = 4.0e8;
-    auto wd = makeWdCollision(p, net);
+    if (argc > 2) p.network = argv[2];
+    WdCollision wd;
+    try {
+        wd = makeWdCollision(p);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "wd_collision: %s\n", e.what());
+        return 1;
+    }
 
     std::printf("WD collision: R = %.3g cm (%.0f km), M = %.2f Msun each, "
-                "%d^3 zones (dx = %.0f km)\n",
+                "%d^3 zones (dx = %.0f km), network %s\n",
                 wd.profile.radius, wd.profile.radius / 1.0e5,
                 wd.profile.mass / constants::M_sun, ncell,
-                p.domain_width / ncell / 1.0e5);
+                p.domain_width / ncell / 1.0e5, wd.network->name().c_str());
     std::printf("%6s %10s %14s %14s %16s\n", "step", "t [s]", "maxT [K]",
                 "max rho", "t_burn/t_cross");
 

@@ -3,6 +3,7 @@
 #include "castro/state.hpp"
 #include "mesh/multifab.hpp"
 #include "mesh/rebalance/cost_monitor.hpp"
+#include "microphysics/batch_burner.hpp"
 #include "microphysics/burner.hpp"
 
 namespace exa::castro {
@@ -15,9 +16,23 @@ struct ReactOptions {
     // When true, the simulated device launch excludes the outlier zones
     // (cost > outlier_factor x median), which are modeled as burned on
     // the host concurrently — the paper's Section VI hybrid strategy.
+    // (Per-fab launch shaping for the per-zone path; the batched engine
+    // has its own hybrid split in `batch`.)
     bool hybrid_cpu_outliers = false;
     double outlier_factor = 10.0;
+    // Batched GPU-resident engine: gather all reacting zones of the
+    // MultiFab (across fabs) into one flat SoA buffer, sort by stiffness,
+    // and burn in fused device batches (BatchBurner) instead of
+    // zone-at-a-time per-fab launches. Bit-identical results; radically
+    // fewer, better-shaped launches.
+    bool batched = false;
+    BatchBurnOptions batch;
 };
+
+// What the batched engine did on the last reactState call that used it
+// (gather size, batch count, tail split). For benches and tests; not
+// meaningful when opt.batched is false.
+const BatchBurnReport& lastBatchBurnReport();
 
 // Burn every (eligible) zone of the state for dt at constant volume,
 // updating species, energy, and temperature. Reports per-grid cost

@@ -120,6 +120,16 @@ WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& n
     opt.do_react = p.do_react;
     opt.react.T_min = 1.0e8;
     opt.react.rho_min = 1.0e4;
+    // Burn with the batched engine by default: the collision's reacting
+    // interface is exactly the many-quiescent-zones-plus-stiff-hot-spots
+    // distribution the stiffness sort and hybrid tail are built for
+    // (EXPERIMENTS.md E14).
+    opt.react.batched = true;
+    opt.react.batch.hybrid_cpu_tail = true;
+    // Burn cost dominates and is well modeled by integrator steps, but
+    // the EOS/gravity side is not; the Hybrid metric (work blended with
+    // measured wall time) balances best on this workload (E9 calibration).
+    opt.rebalance.cost.metric = CostMetric::Hybrid;
 
     out.castro = std::make_unique<Castro>(geom, ba, dm, net, eos, opt);
 
@@ -147,6 +157,13 @@ WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& n
         }
         return zn;
     });
+    return out;
+}
+
+WdCollision makeWdCollision(const WdCollisionParams& p) {
+    auto net = std::make_unique<ReactionNetwork>(makeNetworkByName(p.network));
+    WdCollision out = makeWdCollision(p, *net);
+    out.network = std::move(net);
     return out;
 }
 

@@ -45,9 +45,17 @@ struct WdCollisionParams {
     GravityType gravity = GravityType::Monopole;
     bool do_react = true;
     Real ignition_T = 4.0e9; // the paper's detonation-imminent threshold
+    // Reaction network, selected by registry name (the paper's run uses
+    // the 13-isotope alpha chain). Used by the by-name factory overload;
+    // ignored when a network object is passed explicitly.
+    std::string network = "aprox13";
 };
 
 struct WdCollision {
+    // Registry-built network, when the by-name factory was used. Declared
+    // before `castro`, which holds a reference into it, so it is
+    // destroyed after.
+    std::unique_ptr<ReactionNetwork> network;
     std::unique_ptr<Castro> castro;
     WdProfile profile;
     WdCollisionParams params;
@@ -58,5 +66,10 @@ struct WdCollision {
 };
 
 WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& net);
+
+// Build the network from the registry by p.network — any registered name
+// is a valid WD-collision scenario (unknown names throw, listing the
+// registry). The returned WdCollision owns the network.
+WdCollision makeWdCollision(const WdCollisionParams& p);
 
 } // namespace exa::castro

@@ -35,34 +35,30 @@ std::vector<char> OdeSystem::sparsity() const {
 namespace {
 
 // Newton solve for the BDF stage equation  y - gamma*h*f(t,y) = c.
-// Returns true on convergence; updates y in place.
-struct NewtonWorkspace {
-    DenseMatrix jac;
-    DenseLU dense_lu;
-    SparseLU sparse_lu;
-    bool lu_ready = false;
-    Real h_at_factor = 0.0;
-
-    void invalidate() { lu_ready = false; }
-};
-
+// Returns true on convergence; updates y in place. All scratch lives in
+// the caller-provided BdfWorkspace.
 bool newtonSolve(OdeSystem& sys, std::vector<Real>& y, const std::vector<Real>& c,
                  Real t, Real h, Real gamma, const OdeOptions& opt,
-                 NewtonWorkspace& ws, OdeStats& stats) {
+                 BdfWorkspace& ws, OdeStats& stats) {
     const int n = sys.size();
-    std::vector<Real> f(n), g(n);
+    std::vector<Real>& f = ws.nf;
+    std::vector<Real>& g = ws.ng;
+    f.resize(n);
+    g.resize(n);
 
     auto refactor = [&]() {
-        ws.jac = DenseMatrix(n);
+        if (ws.jac.size() != n) ws.jac = DenseMatrix(n);
         sys.jacobian(t, y, ws.jac);
         ++stats.jac_evals;
-        DenseMatrix m = ws.jac;
-        m.scaleAndAddIdentity(1.0, -gamma * h); // M = I - gamma h J
+        ws.m = ws.jac; // capacity-reusing copy
+        ws.m.scaleAndAddIdentity(1.0, -gamma * h); // M = I - gamma h J
         bool ok;
         if (opt.use_sparse) {
-            ok = ws.sparse_lu.factor(m);
+            ok = ws.sparse_lu.factor(ws.m);
+        } else if (ws.batched_lu != nullptr) {
+            ok = ws.batched_lu->factor(ws.batched_slot, ws.m);
         } else {
-            ok = ws.dense_lu.factor(std::move(m));
+            ok = ws.dense_lu.factor(ws.m);
         }
         ++stats.lu_factors;
         ws.lu_ready = ok;
@@ -87,6 +83,8 @@ bool newtonSolve(OdeSystem& sys, std::vector<Real>& y, const std::vector<Real>& 
         for (auto& v : g) v = -v;
         if (opt.use_sparse) {
             ws.sparse_lu.solve(g);
+        } else if (ws.batched_lu != nullptr) {
+            ws.batched_lu->solve(ws.batched_slot, g);
         } else {
             ws.dense_lu.solve(g);
         }
@@ -109,7 +107,7 @@ bool newtonSolve(OdeSystem& sys, std::vector<Real>& y, const std::vector<Real>& 
 } // namespace
 
 OdeStats BdfIntegrator::integrate(OdeSystem& sys, std::vector<Real>& y, Real t0,
-                                  Real t1, const OdeOptions& opt) {
+                                  Real t1, const OdeOptions& opt, BdfWorkspace* wsp) {
     OdeStats stats;
     const int n = sys.size();
     if (t1 <= t0) {
@@ -117,22 +115,32 @@ OdeStats BdfIntegrator::integrate(OdeSystem& sys, std::vector<Real>& y, Real t0,
         return stats;
     }
 
-    NewtonWorkspace ws;
-    if (opt.use_sparse) {
+    // Without a caller workspace, fall back to a local one: the original
+    // allocate-per-call behavior, bit-identical results.
+    BdfWorkspace local;
+    BdfWorkspace& ws = wsp != nullptr ? *wsp : local;
+    ws.lu_ready = false;
+    ws.h_at_factor = 0.0;
+    if (opt.use_sparse && (!ws.sparse_analyzed || ws.sparse_lu.size() != n)) {
         ws.sparse_lu.analyze(n, sys.sparsity());
+        ws.sparse_analyzed = true;
     }
 
     // History: y at the most recent accepted times (for BDF2 and for the
-    // quadratic extrapolation predictor used in error control).
-    std::vector<Real> y_nm1; // y_{n-1}
-    std::vector<Real> y_nm2; // y_{n-2}
+    // quadratic extrapolation predictor used in error control). clear()
+    // keeps capacity; emptiness doubles as the "no history yet" flag.
+    std::vector<Real>& y_nm1 = ws.y_nm1; // y_{n-1}
+    std::vector<Real>& y_nm2 = ws.y_nm2; // y_{n-2}
+    y_nm1.clear();
+    y_nm2.clear();
     Real h_old = 0.0;        // t_n - t_{n-1}
     Real h_old2 = 0.0;       // t_{n-1} - t_{n-2}
     int order = 1;
     int steps_at_order = 0;
 
     // Initial step size from the RHS scale.
-    std::vector<Real> f(n);
+    std::vector<Real>& f = ws.f;
+    f.resize(n);
     sys.rhs(t0, y, f);
     ++stats.rhs_evals;
     Real h = opt.h_init;
@@ -142,7 +150,14 @@ OdeStats BdfIntegrator::integrate(OdeSystem& sys, std::vector<Real>& y, Real t0,
     }
 
     Real t = t0;
-    std::vector<Real> c(n), y_new(n), y_pred(n), err(n);
+    std::vector<Real>& c = ws.c;
+    std::vector<Real>& y_new = ws.y_new;
+    std::vector<Real>& y_pred = ws.y_pred;
+    std::vector<Real>& err = ws.err;
+    c.resize(n);
+    y_new.resize(n);
+    y_pred.resize(n);
+    err.resize(n);
 
     while (t < t1 && stats.steps < opt.max_steps) {
         h = std::min(h, t1 - t);

@@ -9,7 +9,8 @@
 namespace exa {
 
 Real BurnOde::cvAt(Real T, const Real* Y) const {
-    std::vector<Real> X(m_net.nspec());
+    std::vector<Real>& X = m_x;
+    X.resize(m_net.nspec());
     m_net.yToX(Y, X.data());
     EosState s;
     s.rho = m_rho;
@@ -45,11 +46,13 @@ std::string BurnGridStats::describeFailure() const {
     return os.str();
 }
 
-BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
-                    const Real* X, Real dt, const OdeOptions& opt) {
+void burnZoneInto(BurnOde& ode, Real rho, Real T, const Real* X, Real dt,
+                  const OdeOptions& opt, BurnWorkspace& ws, BurnResult& out) {
+    const ReactionNetwork& net = ode.network();
     const int n = net.nspec();
-    BurnResult out;
     out.X.resize(n);
+    out.e_nuc = 0.0;
+    out.stats = OdeStats{};
 
     // Injection site: the stiff integrator gives up on this zone. The
     // pre-burn state is returned unchanged with success=false — exactly
@@ -60,16 +63,17 @@ BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T
         for (int i = 0; i < n; ++i) out.X[i] = X[i];
         out.stats.steps = 1;
         out.success = false;
-        return out;
+        return;
     }
 
-    std::vector<Real> y(n + 1);
+    std::vector<Real>& y = ws.y;
+    y.resize(n + 1);
     net.xToY(X, y.data());
     y[n] = T;
 
-    BurnOde ode(net, eos, rho);
+    ode.setRho(rho);
     BdfIntegrator bdf;
-    out.stats = bdf.integrate(ode, y, 0.0, dt, opt);
+    out.stats = bdf.integrate(ode, y, 0.0, dt, opt, &ws.bdf);
 
     out.T = std::max(y[n], Real(1.0e4));
     for (int i = 0; i < n; ++i) y[i] = std::clamp(y[i], Real(0), Real(1.0));
@@ -84,11 +88,20 @@ BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T
 
     // Released specific energy, exactly from the abundance change and the
     // species mass excesses (independent of the thermal path).
-    std::vector<Real> y0(n), y1(n);
-    net.xToY(X, y0.data());
-    net.xToY(out.X.data(), y1.data());
-    out.e_nuc = net.energyFromAbundanceChange(y0.data(), y1.data());
+    ws.y0.resize(n);
+    ws.y1.resize(n);
+    net.xToY(X, ws.y0.data());
+    net.xToY(out.X.data(), ws.y1.data());
+    out.e_nuc = net.energyFromAbundanceChange(ws.y0.data(), ws.y1.data());
     out.success = out.stats.success;
+}
+
+BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
+                    const Real* X, Real dt, const OdeOptions& opt) {
+    BurnOde ode(net, eos, rho);
+    BurnWorkspace ws;
+    BurnResult out;
+    burnZoneInto(ode, rho, T, X, dt, opt, ws, out);
     return out;
 }
 

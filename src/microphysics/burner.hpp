@@ -17,7 +17,7 @@ namespace exa {
 class BurnOde final : public OdeSystem {
 public:
     BurnOde(const ReactionNetwork& net, const Eos& eos, Real rho)
-        : m_net(net), m_eos(eos), m_rho(rho) {}
+        : m_net(net), m_eos(eos), m_rho(rho), m_x(net.nspec()) {}
 
     int size() const override { return m_net.nspec() + 1; }
     void rhs(Real t, const std::vector<Real>& y, std::vector<Real>& f) override;
@@ -26,10 +26,19 @@ public:
 
     Real cvAt(Real T, const Real* Y) const;
 
+    // Re-point the ODE at another zone's density, so one BurnOde serves a
+    // whole gather of zones (network and EOS are per-grid, rho is per-zone).
+    void setRho(Real rho) { m_rho = rho; }
+    const ReactionNetwork& network() const { return m_net; }
+
 private:
     const ReactionNetwork& m_net;
     const Eos& m_eos;
     Real m_rho;
+    // cvAt mass-fraction scratch; a member so the per-RHS-call EOS
+    // evaluation stops allocating (cvAt runs at every Newton iteration of
+    // every zone).
+    mutable std::vector<Real> m_x;
 };
 
 struct BurnResult {
@@ -43,6 +52,23 @@ struct BurnResult {
 // Integrate the burn for one zone over dt. X has net.nspec() entries.
 BurnResult burnZone(const ReactionNetwork& net, const Eos& eos, Real rho, Real T,
                     const Real* X, Real dt, const OdeOptions& opt = OdeOptions{});
+
+// Reusable scratch for repeated burns: the ODE state vectors plus the BDF
+// integrator workspace (Jacobian, LU, Newton scratch). Hoisting this out
+// of the zone loops removes every per-zone heap allocation from the burn
+// path — the serial-path churn fix, and the storage substrate of the
+// batched engine. Bound to one network shape, like BdfWorkspace.
+struct BurnWorkspace {
+    std::vector<Real> y, y0, y1;
+    BdfWorkspace bdf;
+};
+
+// Workspace-reusing burn: identical arithmetic to burnZone (bit-identical
+// results), with all scratch drawn from `ode`/`ws` and the result written
+// into `out` (whose X buffer is reused). `ode` carries the network and
+// EOS; its density is re-pointed at `rho`.
+void burnZoneInto(BurnOde& ode, Real rho, Real T, const Real* X, Real dt,
+                  const OdeOptions& opt, BurnWorkspace& ws, BurnResult& out);
 
 // Characteristic nuclear timescales of a state, used by the WD-collision
 // diagnostics (the paper's burning-vs-heat-transfer stability criterion

@@ -11,16 +11,18 @@ void DenseMatrix::scaleAndAddIdentity(Real alpha, Real beta) {
     for (int i = 0; i < m_n; ++i) (*this)(i, i) += alpha;
 }
 
-bool DenseLU::factor(DenseMatrix a) {
+bool DenseLU::factor(const DenseMatrix& a) {
     const int n = a.size();
+    m_lu = a; // copy-assign reuses capacity for same-sized refactors
     m_piv.resize(n);
+    DenseMatrix& lu = m_lu;
     for (int k = 0; k < n; ++k) {
         // Partial pivoting.
         int p = k;
-        Real big = std::abs(a(k, k));
+        Real big = std::abs(lu(k, k));
         for (int i = k + 1; i < n; ++i) {
-            if (std::abs(a(i, k)) > big) {
-                big = std::abs(a(i, k));
+            if (std::abs(lu(i, k)) > big) {
+                big = std::abs(lu(i, k));
                 p = i;
             }
         }
@@ -30,16 +32,15 @@ bool DenseLU::factor(DenseMatrix a) {
         // multipliers stay with their original rows, and solve() applies
         // the interchanges interleaved with forward elimination.
         if (p != k) {
-            for (int j = k; j < n; ++j) std::swap(a(k, j), a(p, j));
+            for (int j = k; j < n; ++j) std::swap(lu(k, j), lu(p, j));
         }
-        const Real inv = 1.0 / a(k, k);
+        const Real inv = 1.0 / lu(k, k);
         for (int i = k + 1; i < n; ++i) {
-            const Real l = a(i, k) * inv;
-            a(i, k) = l;
-            for (int j = k + 1; j < n; ++j) a(i, j) -= l * a(k, j);
+            const Real l = lu(i, k) * inv;
+            lu(i, k) = l;
+            for (int j = k + 1; j < n; ++j) lu(i, j) -= l * lu(k, j);
         }
     }
-    m_lu = std::move(a);
     return true;
 }
 
@@ -53,6 +54,61 @@ void DenseLU::solve(std::vector<Real>& b) const {
     for (int i = n - 1; i >= 0; --i) {
         for (int j = i + 1; j < n; ++j) b[i] -= m_lu(i, j) * b[j];
         b[i] /= m_lu(i, i);
+    }
+}
+
+void BatchedDenseLU::resize(int n, int nbatch) {
+    m_n = n;
+    m_batch = nbatch;
+    m_lu.resize(static_cast<std::size_t>(nbatch) * n * n);
+    m_piv.resize(static_cast<std::size_t>(nbatch) * n);
+}
+
+bool BatchedDenseLU::factor(int b, const DenseMatrix& a) {
+    const int n = m_n;
+    assert(a.size() == n && b >= 0 && b < m_batch);
+    Real* lu = m_lu.data() + static_cast<std::size_t>(b) * n * n;
+    int* piv = m_piv.data() + static_cast<std::size_t>(b) * n;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) lu[i * n + j] = a(i, j);
+    }
+    // Same elimination as DenseLU::factor — keep the two in lockstep.
+    for (int k = 0; k < n; ++k) {
+        int p = k;
+        Real big = std::abs(lu[k * n + k]);
+        for (int i = k + 1; i < n; ++i) {
+            if (std::abs(lu[i * n + k]) > big) {
+                big = std::abs(lu[i * n + k]);
+                p = i;
+            }
+        }
+        if (big == 0.0) return false;
+        piv[k] = p;
+        if (p != k) {
+            for (int j = k; j < n; ++j) std::swap(lu[k * n + j], lu[p * n + j]);
+        }
+        const Real inv = 1.0 / lu[k * n + k];
+        for (int i = k + 1; i < n; ++i) {
+            const Real l = lu[i * n + k] * inv;
+            lu[i * n + k] = l;
+            for (int j = k + 1; j < n; ++j) lu[i * n + j] -= l * lu[k * n + j];
+        }
+    }
+    return true;
+}
+
+void BatchedDenseLU::solve(int b, std::vector<Real>& x) const {
+    const int n = m_n;
+    assert(static_cast<int>(x.size()) == n && b >= 0 && b < m_batch);
+    const Real* lu = m_lu.data() + static_cast<std::size_t>(b) * n * n;
+    const int* piv = m_piv.data() + static_cast<std::size_t>(b) * n;
+    for (int k = 0; k < n; ++k) {
+        std::swap(x[k], x[piv[k]]);
+        for (int i = k + 1; i < n; ++i) x[i] -= lu[i * n + k] * x[k];
+    }
+    for (int i = n - 1; i >= 0; --i) {
+        for (int j = i + 1; j < n; ++j) x[i] -= lu[i * n + j] * x[j];
+        x[i] /= lu[i * n + i];
     }
 }
 
@@ -159,7 +215,8 @@ bool SparseLU::factor(const DenseMatrix& a) {
 void SparseLU::solve(std::vector<Real>& b) const {
     const int n = m_n;
     assert(static_cast<int>(b.size()) == n);
-    std::vector<Real> x(n);
+    std::vector<Real>& x = m_x; // member scratch: no per-solve allocation
+    x.resize(n);
     for (int i = 0; i < n; ++i) x[i] = b[m_perm[i]];
     for (int k = 0; k < n; ++k) {
         for (int i : m_rows_below[k]) {

@@ -34,16 +34,47 @@ private:
 };
 
 // LU factorization with partial pivoting, factored in place. Returns
-// false on (numerical) singularity.
+// false on (numerical) singularity. The input is copied into member
+// storage (reusing its capacity), so repeated factorizations of
+// same-sized matrices — the per-Newton-refactor pattern of the burn —
+// allocate nothing after the first call.
 class DenseLU {
 public:
-    bool factor(DenseMatrix a);
+    bool factor(const DenseMatrix& a);
     void solve(std::vector<Real>& b) const;
     int size() const { return m_lu.size(); }
 
 private:
     DenseMatrix m_lu;
     std::vector<int> m_piv;
+};
+
+// A batch of same-sized dense LU factorizations in one contiguous
+// allocation: slot b occupies rows [b*n, (b+1)*n) of a single n x n x B
+// block, the storage layout a batched GPU solver (cuBLAS getrfBatched)
+// factors in lockstep. Arithmetic per slot is identical to DenseLU
+// (partial pivoting, LINPACK trailing-column swaps), so results are
+// bit-identical to the per-zone path — the property the batched burn's
+// bit-identity guarantee rests on.
+class BatchedDenseLU {
+public:
+    // Allocate B slots of n x n storage (values are overwritten by
+    // factor; no zero-fill between reuses).
+    void resize(int n, int nbatch);
+
+    int size() const { return m_n; }
+    int batchCount() const { return m_batch; }
+
+    // Factor `a` into slot b. Returns false on numerical singularity.
+    bool factor(int b, const DenseMatrix& a);
+    // Solve slot b's system in place.
+    void solve(int b, std::vector<Real>& x) const;
+
+private:
+    int m_n = 0;
+    int m_batch = 0;
+    std::vector<Real> m_lu;  // m_batch * m_n * m_n, slot-major
+    std::vector<int> m_piv;  // m_batch * m_n
 };
 
 // Fixed-pattern sparse LU (no pivoting), the paper's future-work
@@ -94,6 +125,9 @@ private:
     // indexed but only pattern entries are read/written.
     std::vector<char> m_pattern;
     std::vector<Real> m_lu;
+    // Permuted-solve scratch; a member so repeated solves (one per Newton
+    // iteration per zone in a burn) do not allocate.
+    mutable std::vector<Real> m_x;
     // For each pivot column k, the rows i>k with (i,k) nonzero.
     std::vector<std::vector<int>> m_rows_below;
     // For each row i, sorted nonzero columns (split at the diagonal).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace exa {
 
@@ -28,12 +29,12 @@ ReactionNetwork::ReactionNetwork(std::string name, std::vector<Species> species,
     : m_name(std::move(name)),
       m_species(std::move(species)),
       m_reactions(std::move(reactions)) {
-    // Q values follow from the mass excesses, so edot and the abundance
-    // changes are exactly consistent.
+    // Q values follow from the mass excesses of the *stoichiometric*
+    // lists, so edot and the abundance changes are exactly consistent.
     for (auto& rx : m_reactions) {
         Real q = 0.0;
-        for (const auto& [sp, cnt] : rx.reactants) q += cnt * m_species[sp].excess_MeV;
-        for (const auto& [sp, cnt] : rx.products) q -= cnt * m_species[sp].excess_MeV;
+        for (const auto& [sp, cnt] : rx.stoichIn()) q += cnt * m_species[sp].excess_MeV;
+        for (const auto& [sp, cnt] : rx.stoichOut()) q -= cnt * m_species[sp].excess_MeV;
         rx.Q_MeV = q;
     }
 }
@@ -128,8 +129,8 @@ void ReactionNetwork::ydot(Real rho, Real T, const Real* Y, Real* dYdt,
     edot = 0.0;
     for (int r = 0; r < numReactions(); ++r) {
         const Reaction& rx = m_reactions[r];
-        for (const auto& [sp, cnt] : rx.reactants) dYdt[sp] -= cnt * R[r];
-        for (const auto& [sp, cnt] : rx.products) dYdt[sp] += cnt * R[r];
+        for (const auto& [sp, cnt] : rx.stoichIn()) dYdt[sp] -= cnt * R[r];
+        for (const auto& [sp, cnt] : rx.stoichOut()) dYdt[sp] += cnt * R[r];
         edot += R[r] * rx.Q_MeV * erg_per_MeV_mol;
     }
 }
@@ -155,8 +156,8 @@ void ReactionNetwork::jacobian(Real rho, Real T, const Real* Y, Real cv,
                          screeningFactor(rx, rho, T, Y, &dH_dT, &dH_dzeta, &zeta);
 
         auto addColumn = [&](int k, Real dRdYk) {
-            for (const auto& [sp, cnt] : rx.reactants) J(sp, k) -= cnt * dRdYk;
-            for (const auto& [sp, cnt] : rx.products) J(sp, k) += cnt * dRdYk;
+            for (const auto& [sp, cnt] : rx.stoichIn()) J(sp, k) -= cnt * dRdYk;
+            for (const auto& [sp, cnt] : rx.stoichOut()) J(sp, k) += cnt * dRdYk;
             dedotdY[k] += q * dRdYk;
         };
 
@@ -185,8 +186,8 @@ void ReactionNetwork::jacobian(Real rho, Real T, const Real* Y, Real cv,
 
         // Temperature dependence (rate fit + screening).
         const Real dRdT = R[r] * dlnRdT[r];
-        for (const auto& [sp, cnt] : rx.reactants) J(sp, n) -= cnt * dRdT;
-        for (const auto& [sp, cnt] : rx.products) J(sp, n) += cnt * dRdT;
+        for (const auto& [sp, cnt] : rx.stoichIn()) J(sp, n) -= cnt * dRdT;
+        for (const auto& [sp, cnt] : rx.stoichOut()) J(sp, n) += cnt * dRdT;
         dedotdT += q * dRdT;
     }
     // Temperature row: d(dT/dt)/dY_k = dedot/dY_k / cv, etc. (cv variation
@@ -202,8 +203,8 @@ std::vector<char> ReactionNetwork::sparsity() const {
     for (int i = 0; i < n; ++i) set(i, i);
     for (const auto& rx : m_reactions) {
         std::vector<int> touched;
-        for (const auto& [sp, cnt] : rx.reactants) touched.push_back(sp);
-        for (const auto& [sp, cnt] : rx.products) touched.push_back(sp);
+        for (const auto& [sp, cnt] : rx.stoichIn()) touched.push_back(sp);
+        for (const auto& [sp, cnt] : rx.stoichOut()) touched.push_back(sp);
         for (int i : touched) {
             for (const auto& [k, cnt] : rx.reactants) set(i, k);
             set(i, nspec());          // all rates depend on T
@@ -384,6 +385,304 @@ ReactionNetwork makeAprox13WithReverse() {
     }
     rx.insert(rx.end(), rev.begin(), rev.end());
     return ReactionNetwork("aprox13+rev", std::move(sp), std::move(rx));
+}
+
+ReactionNetwork makeIso7() {
+    // he4 c12 o16 ne20 mg24 si28 ni56 — indices 0..6.
+    std::vector<Species> sp = {
+        {"he4", 4, 2, 2.4249},      {"c12", 12, 6, 0.0},
+        {"o16", 16, 8, -4.7366},    {"ne20", 20, 10, -7.0419},
+        {"mg24", 24, 12, -13.9336}, {"si28", 28, 14, -21.4928},
+        {"ni56", 56, 28, -53.9040}};
+    std::vector<Reaction> rx;
+
+    Reaction r3a;
+    r3a.label = "3a(,g)c12";
+    r3a.reactants = {{0, 3}};
+    r3a.products = {{1, 1}};
+    r3a.fit = {2.79e-8, -3.0, 0.0, 4.4027, 0.0};
+    r3a.z1 = r3a.z2 = 2.0;
+    rx.push_back(r3a);
+
+    // (a,g) chain c12 -> si28, same fits as the aprox13 links.
+    for (int i = 1; i < 5; ++i) {
+        Reaction r;
+        r.label = sp[i].name + "(a,g)" + sp[i + 1].name;
+        r.reactants = {{i, 1}, {0, 1}};
+        r.products = {{i + 1, 1}};
+        r.fit = {2.0e8 * std::pow(1.6, i - 1), -2.0 / 3.0,
+                 gamowTau(2.0, sp[i].Z, 4.0, sp[i].A), 0.0, 0.0};
+        r.z1 = 2.0;
+        r.z2 = sp[i].Z;
+        rx.push_back(r);
+    }
+
+    // Heavy-ion channels.
+    Reaction cc;
+    cc.label = "c12(c12,a)ne20";
+    cc.reactants = {{1, 2}};
+    cc.products = {{3, 1}, {0, 1}};
+    cc.fit = {4.27e26, -2.0 / 3.0, gamowTau(6, 6, 12, 12), 0.0, 0.0};
+    cc.z1 = cc.z2 = 6.0;
+    rx.push_back(cc);
+
+    Reaction co;
+    co.label = "c12(o16,a)mg24";
+    co.reactants = {{1, 1}, {2, 1}};
+    co.products = {{4, 1}, {0, 1}};
+    co.fit = {1.7e27, -2.0 / 3.0, gamowTau(6, 8, 12, 16), 0.0, 0.0};
+    co.z1 = 6.0;
+    co.z2 = 8.0;
+    rx.push_back(co);
+
+    Reaction oo;
+    oo.label = "o16(o16,a)si28";
+    oo.reactants = {{2, 2}};
+    oo.products = {{5, 1}, {0, 1}};
+    oo.fit = {7.1e36, -2.0 / 3.0, gamowTau(8, 8, 16, 16), 0.0, 0.0};
+    oo.z1 = oo.z2 = 8.0;
+    rx.push_back(oo);
+
+    // The iso7 shortcut: everything above si28 is in quasi-equilibrium, so
+    // the seven alpha captures si28 -> ni56 collapse into one effective
+    // link. Kinetics are 2-body in Y(si28)*Y(he4) (the first capture is
+    // rate-limiting); stoichiometry consumes 7 alphas per ni56.
+    Reaction si;
+    si.label = "si28(7a,g)ni56";
+    si.reactants = {{5, 1}, {0, 1}};
+    si.products = {{6, 1}};
+    si.consumes = {{5, 1}, {0, 7}};
+    si.produces = {{6, 1}};
+    si.fit = {2.0e8 * std::pow(1.6, 4), -2.0 / 3.0, gamowTau(2, 14, 4, 28), 0.0, 0.0};
+    si.z1 = 2.0;
+    si.z2 = 14.0;
+    rx.push_back(si);
+
+    return ReactionNetwork("iso7", std::move(sp), std::move(rx));
+}
+
+ReactionNetwork makeAprox19() {
+    // The aprox13 alpha chain (indices shifted) plus light species and
+    // iron-group photodisintegration partners:
+    //   0 h1, 1 he3, 2 he4, 3 c12, 4 n14, 5 o16, 6 ne20, 7 mg24, 8 si28,
+    //   9 s32, 10 ar36, 11 ca40, 12 ti44, 13 cr48, 14 fe52, 15 fe54,
+    //   16 ni56, 17 neut, 18 prot.
+    std::vector<Species> sp = {
+        {"h1", 1, 1, 7.2890},       {"he3", 3, 2, 14.9312},
+        {"he4", 4, 2, 2.4249},      {"c12", 12, 6, 0.0},
+        {"n14", 14, 7, 2.8634},     {"o16", 16, 8, -4.7366},
+        {"ne20", 20, 10, -7.0419},  {"mg24", 24, 12, -13.9336},
+        {"si28", 28, 14, -21.4928}, {"s32", 32, 16, -26.0157},
+        {"ar36", 36, 18, -30.2316}, {"ca40", 40, 20, -34.8463},
+        {"ti44", 44, 22, -37.5484}, {"cr48", 48, 24, -42.8155},
+        {"fe52", 52, 26, -48.3320}, {"fe54", 54, 26, -56.2525},
+        {"ni56", 56, 28, -53.9040}, {"neut", 1, 0, 8.0713},
+        {"prot", 1, 1, 7.2890}};
+    std::vector<Reaction> rx;
+
+    const int ih1 = 0, ihe3 = 1, ihe4 = 2, ic12 = 3, in14 = 4, io16 = 5,
+              ine20 = 6, img24 = 7, isi28 = 8, ife52 = 14, ife54 = 15,
+              ini56 = 16, ineut = 17, iprot = 18;
+
+    // Lumped pp chain entry: 3 h1 -> he3 with 2-body p+p kinetics (the
+    // weak p(p,e+nu)d step is rate-limiting; tiny c0 reflects it).
+    Reaction pp;
+    pp.label = "p(pp,g)he3";
+    pp.reactants = {{ih1, 2}};
+    pp.products = {{ihe3, 1}};
+    pp.consumes = {{ih1, 3}};
+    pp.produces = {{ihe3, 1}};
+    pp.fit = {4.0e-15, -2.0 / 3.0, gamowTau(1, 1, 1, 1), 0.0, 0.0};
+    pp.z1 = pp.z2 = 1.0;
+    rx.push_back(pp);
+
+    // he3(he3,2p)he4 closes pp-I.
+    Reaction hh;
+    hh.label = "he3(he3,2p)he4";
+    hh.reactants = {{ihe3, 2}};
+    hh.products = {{ihe4, 1}, {ih1, 2}};
+    hh.fit = {6.0e10, -2.0 / 3.0, gamowTau(2, 2, 3, 3), 0.0, 0.0};
+    hh.z1 = hh.z2 = 2.0;
+    rx.push_back(hh);
+
+    // Lumped cold CNO: c12 + 2p -> n14 (2-body c12+p kinetics; the slow
+    // c12(p,g) capture gates the cycle).
+    Reaction cno;
+    cno.label = "c12(pp,g)n14";
+    cno.reactants = {{ic12, 1}, {ih1, 1}};
+    cno.products = {{in14, 1}};
+    cno.consumes = {{ic12, 1}, {ih1, 2}};
+    cno.produces = {{in14, 1}};
+    cno.fit = {2.0e7, -2.0 / 3.0, gamowTau(1, 6, 1, 12), 0.0, 0.0};
+    cno.z1 = 1.0;
+    cno.z2 = 6.0;
+    rx.push_back(cno);
+
+    // n14 burnout toward the alpha chain: 2 n14 + he4 -> 2 o16 (lumping
+    // n14(a,g)f18(..)o16-flavored flows; 2-body n14+he4 kinetics).
+    Reaction na;
+    na.label = "n14(a,g)o16_eff";
+    na.reactants = {{in14, 1}, {ihe4, 1}};
+    na.products = {{io16, 1}};
+    na.consumes = {{in14, 2}, {ihe4, 1}};
+    na.produces = {{io16, 2}};
+    na.fit = {6.0e7, -2.0 / 3.0, gamowTau(2, 7, 4, 14), 0.0, 0.0};
+    na.z1 = 2.0;
+    na.z2 = 7.0;
+    rx.push_back(na);
+
+    // Triple-alpha entry and the full (a,g) chain c12 -> ni56, as aprox13.
+    Reaction r3a;
+    r3a.label = "3a(,g)c12";
+    r3a.reactants = {{ihe4, 3}};
+    r3a.products = {{ic12, 1}};
+    r3a.fit = {2.79e-8, -3.0, 0.0, 4.4027, 0.0};
+    r3a.z1 = r3a.z2 = 2.0;
+    rx.push_back(r3a);
+
+    // Chain links (skip n14 and fe54, which sit off the alpha ladder):
+    // c12, o16, ne20, mg24, si28, s32, ar36, ca40, ti44, cr48, fe52.
+    const int chain[] = {ic12, io16, ine20, img24, isi28, 9, 10, 11, 12, 13, ife52};
+    for (int ci = 0; ci < 11; ++ci) {
+        const int i = chain[ci];
+        const int ip1 = ci < 10 ? chain[ci + 1] : ini56;
+        Reaction r;
+        r.label = sp[i].name + "(a,g)" + sp[ip1].name;
+        r.reactants = {{i, 1}, {ihe4, 1}};
+        r.products = {{ip1, 1}};
+        r.fit = {2.0e8 * std::pow(1.6, ci), -2.0 / 3.0,
+                 gamowTau(2.0, sp[i].Z, 4.0, sp[i].A), 0.0, 0.0};
+        r.z1 = 2.0;
+        r.z2 = sp[i].Z;
+        rx.push_back(r);
+    }
+
+    // Heavy-ion channels.
+    Reaction cc;
+    cc.label = "c12(c12,a)ne20";
+    cc.reactants = {{ic12, 2}};
+    cc.products = {{ine20, 1}, {ihe4, 1}};
+    cc.fit = {4.27e26, -2.0 / 3.0, gamowTau(6, 6, 12, 12), 0.0, 0.0};
+    cc.z1 = cc.z2 = 6.0;
+    rx.push_back(cc);
+
+    Reaction co;
+    co.label = "c12(o16,a)mg24";
+    co.reactants = {{ic12, 1}, {io16, 1}};
+    co.products = {{img24, 1}, {ihe4, 1}};
+    co.fit = {1.7e27, -2.0 / 3.0, gamowTau(6, 8, 12, 16), 0.0, 0.0};
+    co.z1 = 6.0;
+    co.z2 = 8.0;
+    rx.push_back(co);
+
+    Reaction oo;
+    oo.label = "o16(o16,a)si28";
+    oo.reactants = {{io16, 2}};
+    oo.products = {{isi28, 1}, {ihe4, 1}};
+    oo.fit = {7.1e36, -2.0 / 3.0, gamowTau(8, 8, 16, 16), 0.0, 0.0};
+    oo.z1 = oo.z2 = 8.0;
+    rx.push_back(oo);
+
+    // Iron-group photodisintegration-flavored links (endothermic; the
+    // invT term keeps them negligible until T9 of a few):
+    // fe52 + a -> fe54 + 2p, fe54 + a -> ni56 + 2n, fe54 + 2p -> ni56.
+    Reaction fa;
+    fa.label = "fe52(a,2p)fe54";
+    fa.reactants = {{ife52, 1}, {ihe4, 1}};
+    fa.products = {{ife54, 1}, {iprot, 2}};
+    fa.fit = {1.0e9, -2.0 / 3.0, gamowTau(2, 26, 4, 52), 35.0, 0.0};
+    fa.z1 = 2.0;
+    fa.z2 = 26.0;
+    rx.push_back(fa);
+
+    Reaction fn;
+    fn.label = "fe54(a,2n)ni56";
+    fn.reactants = {{ife54, 1}, {ihe4, 1}};
+    fn.products = {{ini56, 1}, {ineut, 2}};
+    fn.fit = {1.0e9, -2.0 / 3.0, gamowTau(2, 26, 4, 54), 40.0, 0.0};
+    fn.z1 = 2.0;
+    fn.z2 = 26.0;
+    rx.push_back(fn);
+
+    Reaction fp;
+    fp.label = "fe54(pp,g)ni56";
+    fp.reactants = {{ife54, 1}, {iprot, 1}};
+    fp.products = {{ini56, 1}};
+    fp.consumes = {{ife54, 1}, {iprot, 2}};
+    fp.produces = {{ini56, 1}};
+    fp.fit = {5.0e6, -2.0 / 3.0, gamowTau(1, 26, 1, 54), 0.0, 0.0};
+    fp.z1 = 1.0;
+    fp.z2 = 26.0;
+    rx.push_back(fp);
+
+    // Free-neutron decay n -> p (one-body weak rate, lambda = 1/880 s).
+    Reaction nd;
+    nd.label = "n(e-nu)p";
+    nd.reactants = {{ineut, 1}};
+    nd.products = {{iprot, 1}};
+    nd.fit = {1.0 / 880.0, 0.0, 0.0, 0.0, 0.0};
+    rx.push_back(nd);
+
+    return ReactionNetwork("aprox19", std::move(sp), std::move(rx));
+}
+
+// --- NetworkRegistry ------------------------------------------------------
+
+NetworkRegistry::NetworkRegistry() {
+    add("ignition_simple", &makeIgnitionSimple);
+    add("triple_alpha", &makeTripleAlpha);
+    add("aprox13", &makeAprox13);
+    add("aprox13+rev", &makeAprox13WithReverse);
+    add("iso7", &makeIso7);
+    add("aprox19", &makeAprox19);
+}
+
+NetworkRegistry& NetworkRegistry::instance() {
+    static NetworkRegistry reg;
+    return reg;
+}
+
+void NetworkRegistry::add(const std::string& name, Factory f) {
+    for (auto& [nm, fac] : m_factories) {
+        if (nm == name) {
+            fac = f;
+            return;
+        }
+    }
+    m_factories.emplace_back(name, f);
+}
+
+bool NetworkRegistry::contains(const std::string& name) const {
+    for (const auto& [nm, fac] : m_factories) {
+        if (nm == name) return true;
+    }
+    return false;
+}
+
+std::vector<std::string> NetworkRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(m_factories.size());
+    for (const auto& [nm, fac] : m_factories) out.push_back(nm);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ReactionNetwork NetworkRegistry::make(const std::string& name) const {
+    for (const auto& [nm, fac] : m_factories) {
+        if (nm == name) return fac();
+    }
+    std::string msg = "unknown reaction network '" + name + "'; registered: ";
+    bool first = true;
+    for (const auto& nm : names()) {
+        if (!first) msg += ", ";
+        msg += nm;
+        first = false;
+    }
+    throw std::invalid_argument(msg);
+}
+
+ReactionNetwork makeNetworkByName(const std::string& name) {
+    return NetworkRegistry::instance().make(name);
 }
 
 } // namespace exa

@@ -39,14 +39,32 @@ struct RateFit {
 
 // A reaction with up to two distinct reactant/product species (with
 // multiplicities, so "3 He4 -> C12" is reactants {{ihe4,3}}).
+//
+// `reactants` defines the *rate law* (which abundances the molar rate is
+// proportional to). By default it also defines the stoichiometry; the
+// optional `consumes`/`produces` lists override the stoichiometry alone,
+// for the effective links of reduced networks — e.g. iso7's
+// si28 + 7 he4 -> ni56, whose rate is 2-body in Y(si28)*Y(he4) but which
+// consumes seven alphas per ni56 produced. Nucleon conservation and Q
+// values follow the stoichiometric lists.
 struct Reaction {
     std::string label;
     std::vector<std::pair<int, int>> reactants; // (species index, count)
     std::vector<std::pair<int, int>> products;
+    // Stoichiometry overrides; empty = use reactants/products.
+    std::vector<std::pair<int, int>> consumes;
+    std::vector<std::pair<int, int>> produces;
     RateFit fit;
     Real Q_MeV = 0.0; // energy release per reaction (set from mass excesses
                       // by the ReactionNetwork constructor)
     Real z1 = 0.0, z2 = 0.0; // charges for the screening factor (0 = none)
+
+    const std::vector<std::pair<int, int>>& stoichIn() const {
+        return consumes.empty() ? reactants : consumes;
+    }
+    const std::vector<std::pair<int, int>>& stoichOut() const {
+        return produces.empty() ? products : produces;
+    }
 };
 
 // A reaction network assembled from species + reactions, with generic
@@ -133,5 +151,50 @@ ReactionNetwork makeAprox13();
 // integrates near ignition. Denser Jacobian (closer to the paper's "40%
 // empty" figure) and stiffer systems than the forward-only variant.
 ReactionNetwork makeAprox13WithReverse();
+
+// 7-species reduced alpha network in the style of iso7 (Timmes): he4,
+// c12, o16, ne20, mg24, si28, ni56. The chain above si28 is collapsed
+// into one effective si28 + 7 he4 -> ni56 link with 2-body kinetics (the
+// QSE shortcut that makes iso7 cheap), using the stoichiometry override.
+// Smaller Jacobian (8x8) than aprox13 — the fits-in-registers end of the
+// paper's Volta register-budget discussion.
+ReactionNetwork makeIso7();
+
+// 19-species network in the style of aprox19: the aprox13 alpha chain
+// plus h1, he3, n14, fe54, and free neutrons/protons, with lumped pp,
+// CNO-like, and photodisintegration-flavored links. Rates are
+// order-of-magnitude physical fits (like the other networks here): the
+// performance-relevant structure — 20x20 Jacobian (register spilling),
+// sparsity, stiffness spread — is what is faithful.
+ReactionNetwork makeAprox19();
+
+// --- Runtime-pluggable network registry ----------------------------------
+//
+// Networks register a factory under a name; drivers, benches, examples,
+// and configs then select a network by string with no recompilation —
+// every new network is an instant scenario/ablation axis. The built-in
+// factories above are pre-registered.
+class NetworkRegistry {
+public:
+    using Factory = ReactionNetwork (*)();
+
+    static NetworkRegistry& instance();
+
+    // Register (or replace) a factory under `name`.
+    void add(const std::string& name, Factory f);
+    bool contains(const std::string& name) const;
+    // Registered names, sorted.
+    std::vector<std::string> names() const;
+    // Build the named network. Throws std::invalid_argument for unknown
+    // names, listing every registered network in the message.
+    ReactionNetwork make(const std::string& name) const;
+
+private:
+    NetworkRegistry(); // pre-registers the built-ins
+    std::vector<std::pair<std::string, Factory>> m_factories;
+};
+
+// Convenience wrapper over NetworkRegistry::instance().make(name).
+ReactionNetwork makeNetworkByName(const std::string& name);
 
 } // namespace exa

@@ -3,6 +3,7 @@
 // migration (bit-exact on every backend, CommLedger-accounted), the
 // StepGuard interaction, the migration-payload-corrupt fault site, and
 // driver-level on/off equivalence for Castro and Maestro.
+#include "castro/react.hpp"
 #include "castro/sedov.hpp"
 #include "comm/ledger.hpp"
 #include "core/debug.hpp"
@@ -691,4 +692,62 @@ TEST(RebalanceDrivers, MaestroInjectedSkewMigratesAllCoupledFabs) {
     // projection on the migrated layout must still close the loop.
     m->project();
     EXPECT_TRUE(std::isfinite(m->maxAbsDivergence()));
+}
+
+// --- Metric calibration on a real burn-dominated workload ----------------
+
+TEST(CostMonitor, AllMetricsAgreeOnABurnDominatedSkew) {
+    // One fab carries every burning zone, the rest are inert. Whichever
+    // metric the balancer is configured with — model work units, measured
+    // wall seconds, or the hybrid blend — the burning fab must dominate
+    // its costs, i.e. the Time and Hybrid channels are calibrated well
+    // enough to reproduce the (deterministic) work channel's ranking on
+    // a burn-heavy step. This is the property the WD-collision driver's
+    // CostMetric::Hybrid default relies on.
+    auto net = makeNetworkByName("iso7");
+    Eos eos{HelmLiteEos{}};
+    const int ncell = 16;
+    BoxArray ba = makeChoppedBa(ncell, 8);
+    DistributionMapping dm(ba, 1);
+    MultiFab state(ba, dm, castro::StateLayout(net.nspec()).ncomp(), 0);
+
+    std::vector<Real> X(net.nspec(), 0.0);
+    X[net.speciesIndex("c12")] = 0.5;
+    X[net.speciesIndex("o16")] = 0.5;
+    int hot_fab = -1;
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        auto u = state.array(static_cast<int>(f));
+        const Box& vb = state.box(static_cast<int>(f));
+        const bool hot = vb.contains(0, 0, 0); // one burning fab
+        if (hot) hot_fab = static_cast<int>(f);
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
+                    const Real rho = 1.0e7;
+                    u(i, j, k, castro::StateLayout::URHO) = rho;
+                    u(i, j, k, castro::StateLayout::UTEMP) = hot ? 9.0e8 : 3.0e7;
+                    for (int n = 0; n < net.nspec(); ++n)
+                        u(i, j, k, castro::StateLayout::UFS + n) = rho * X[n];
+                    u(i, j, k, castro::StateLayout::UEDEN) = rho * 1.0e17;
+                }
+    }
+    ASSERT_GE(hot_fab, 0);
+
+    for (CostMetric metric :
+         {CostMetric::Work, CostMetric::Time, CostMetric::Hybrid}) {
+        CostMonitorOptions co;
+        co.metric = metric;
+        CostMonitor mon(co);
+        MultiFab work(ba, dm, state.nComp(), 0);
+        MultiFab::Copy(work, state, 0, 0, state.nComp(), 0);
+        castro::reactState(work, net, eos, 1.0e-6, castro::ReactOptions{}, &mon, 0);
+        mon.commitStep(0);
+        const auto c = mon.costs(0);
+        ASSERT_EQ(c.size(), state.size());
+        for (std::size_t f = 0; f < c.size(); ++f) {
+            if (static_cast<int>(f) == hot_fab) continue;
+            EXPECT_GT(c[hot_fab], 2.0 * c[f])
+                << "metric " << static_cast<int>(metric) << " fab " << f;
+        }
+    }
 }
