@@ -3,9 +3,14 @@
 #
 # Builds the tree under EXA_SANITIZE and runs the targeted ctest labels
 # (ROADMAP's CI item): migration and refluxing are memcpy-heavy
-# (rebalance, amr), and the debug-backend reruns replay every kernel in
-# shuffled zone order — the combination is where sanitizers catch what
-# the runtime checkers cannot, and vice versa.
+# (rebalance, amr), the debug-backend reruns replay every kernel in
+# shuffled zone order, and the resilience suite hands staged checkpoint
+# buffers to a background drain thread — under TSan that covers the
+# main-thread/drain-thread handshake the runtime checkers cannot see.
+# The combination is where sanitizers catch what the runtime checkers
+# cannot, and vice versa. A seeded multi-fault campaign smoke test runs
+# last: rank failures + halo corruption + a checkpoint bit flip through
+# the full recover/replay path under the sanitizer.
 #
 # Usage:
 #   ci/sanitize.sh                  # ASan+UBSan (default)
@@ -18,9 +23,16 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-sanitize-${SAN//;/-}"
 
 # Repeated `ctest -L` flags AND together; one regex is the union.
-LABELS='rebalance|debug-backend|amr|burn'
+LABELS='rebalance|debug-backend|amr|burn|resilience'
 
 cmake -B "${BUILD}" -S "${ROOT}" -DEXA_SANITIZE="${SAN}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j "$(nproc)"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)" -L "${LABELS}"
+
+# Seeded 3-fault campaign smoke test: the supervised Sedov campaign
+# (rank-failure + halo-payload-corrupt + checkpoint-bit-flip) end to end
+# under the sanitizer, exercising kill/shrink/restore/replay and the
+# async drain thread outside the gtest harness.
+"${BUILD}/tests/test_resilience" \
+    --gtest_filter='ResilienceTest.CampaignSurvivesMultiFaultSchedule'

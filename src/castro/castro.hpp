@@ -73,6 +73,15 @@ public:
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
 
+    // Restore path (resilience): rewind the clock to a checkpoint's time
+    // and step count after the state fab has been restored. Replaying
+    // steps from here is deterministic, so a recovered run is
+    // bit-identical to an uninterrupted one.
+    void resetTime(Real t, int nstep) {
+        m_time = t;
+        m_nstep = nstep;
+    }
+
     // Retry accounting for the guarded steps of this run (zeros when the
     // guard is disabled).
     const RetryStats& retryStats() const { return m_guard.stats(); }

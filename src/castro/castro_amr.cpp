@@ -180,6 +180,34 @@ void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
     m_rebalancer.noteRegrid(lev, ba.size());
 }
 
+void CastroAmr::remakeForRestore(
+    const std::vector<std::vector<Box>>& level_boxes,
+    const std::function<DistributionMapping(const BoxArray&, int lev)>&
+        dmBuilder) {
+    const int nlev = static_cast<int>(level_boxes.size());
+    assert(nlev >= 1 && nlev <= maxLevel() + 1);
+    for (int lev = finestLevel(); lev >= nlev; --lev) ClearLevel(lev);
+    setFinestLevel(nlev - 1);
+    for (int lev = 0; lev < nlev; ++lev) {
+        BoxArray ba(level_boxes[lev]);
+        m_ba[lev] = ba;
+        m_dm[lev] = dmBuilder(ba, lev);
+        m_state[lev].define(ba, m_dm[lev], m_layout.ncomp(), m_opt.ngrow);
+        m_state[lev].setVal(0.0);
+        m_rebalancer.noteRegrid(lev, ba.size());
+    }
+}
+
+void CastroAmr::finishRestore() {
+    // Ghosts are not persisted and need no refill here: every consumer
+    // (RK stages, fillPatchAtTime) reads coarse valid zones or refills
+    // ghosts itself at the start of the next advance.
+    for (int lev = 0; lev <= finestLevel(); ++lev) {
+        m_dm[lev] = m_state[lev].distributionMap();
+        resetLevelCompanions(lev);
+    }
+}
+
 void CastroAmr::ClearLevel(int lev) {
     m_state[lev].clear();
     m_state_old[lev].clear();

@@ -59,6 +59,30 @@ public:
 
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
+
+    // --- restore path (resilience) -------------------------------------
+    // Rewind the hierarchy clock to a checkpoint's time and step count
+    // (after the level states have been restored, before finishRestore).
+    void resetTime(Real t, int nstep) {
+        m_time = t;
+        m_nstep = nstep;
+    }
+    // Rebuild the hierarchy on a checkpoint's per-level grids when a
+    // regrid has made the live layouts differ from the checkpoint's:
+    // clears extra levels, resets the level count, and defines each
+    // level's state (zeroed — the caller fills it from disk) on
+    // BoxArray(level_boxes[lev]) with dmBuilder(ba, lev).
+    void remakeForRestore(
+        const std::vector<std::vector<Box>>& level_boxes,
+        const std::function<DistributionMapping(const BoxArray&, int lev)>&
+            dmBuilder);
+    // After every level's state fab holds checkpoint data and resetTime
+    // has run: rebuild the per-level companions (old-time state = state at
+    // m_time, flux registers redefined — their contents are dead between
+    // sync points, so a step boundary needs only fresh ones) and sync
+    // AmrCore's mappings with the restored states.
+    void finishRestore();
+
     int regrid_interval = 4;
     // Subcycle in time (fine levels take ref_ratio substeps of dt/r).
     bool subcycle = true;

@@ -35,6 +35,10 @@ void Gravity::solve(const MultiFab& state) {
     }
 }
 
+void Gravity::resetPoissonWarmStart() {
+    if (m_defined && m_type == GravityType::Poisson) m_phi.setVal(0.0);
+}
+
 std::vector<MultiFab*> Gravity::rebalanceFabs() {
     std::vector<MultiFab*> fabs;
     if (!m_defined) return fabs;

@@ -46,6 +46,13 @@ public:
 
     GravityType type() const { return m_type; }
 
+    // Drop the Poisson warm start back to a cold (zero) initial guess.
+    // The acceleration is fully recomputed by every solve, but phi seeds
+    // the next multigrid solve — after a rank-failure recovery poisons it,
+    // this makes the solver re-converge from scratch instead of iterating
+    // on garbage. No-op for Monopole/None or before the first solve.
+    void resetPoissonWarmStart();
+
 private:
     void solveMonopole(const MultiFab& state);
     void solvePoisson(const MultiFab& state);

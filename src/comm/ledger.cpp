@@ -9,6 +9,8 @@ void CommLedger::attach() {
     CommHooks::setHaloHook([this](const HaloEvent& e) { recordHalo(e); });
     CommHooks::setRebalanceHook(
         [this](const RebalanceEvent& e) { recordRebalance(e); });
+    CommHooks::setResilienceHook(
+        [this](const ResilienceEvent& e) { recordResilience(e); });
     m_attached = true;
 }
 
@@ -17,6 +19,7 @@ void CommLedger::detach() {
         CommHooks::clearMessageHook();
         CommHooks::clearHaloHook();
         CommHooks::clearRebalanceHook();
+        CommHooks::clearResilienceHook();
         m_attached = false;
     }
 }
@@ -50,6 +53,14 @@ void CommLedger::recordRebalance(const RebalanceEvent& e) {
     m_migration_boxes += e.boxes_moved;
 }
 
+void CommLedger::recordResilience(const ResilienceEvent& e) {
+    m_checkpoints.fetch_add(e.checkpoints, std::memory_order_relaxed);
+    m_checkpoint_bytes.fetch_add(e.checkpoint_bytes, std::memory_order_relaxed);
+    m_ranks_recovered.fetch_add(e.ranks_recovered, std::memory_order_relaxed);
+    m_replay_steps.fetch_add(e.replay_steps, std::memory_order_relaxed);
+    m_recovery_bytes.fetch_add(e.recovery_bytes, std::memory_order_relaxed);
+}
+
 void CommLedger::reset() {
     m_edges.clear();
     m_tag_bytes.clear();
@@ -62,6 +73,11 @@ void CommLedger::reset() {
     m_rebalances = 0;
     m_migration_bytes = 0;
     m_migration_boxes = 0;
+    m_checkpoints.store(0);
+    m_checkpoint_bytes.store(0);
+    m_ranks_recovered.store(0);
+    m_replay_steps.store(0);
+    m_recovery_bytes.store(0);
 }
 
 std::int64_t CommLedger::bytesWithTag(const std::string& tag) const {

@@ -4,6 +4,7 @@
 #include "comm/network.hpp"
 #include "mesh/comm_hooks.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -27,6 +28,7 @@ public:
     void record(const MessageRecord& r);
     void recordHalo(const HaloEvent& e);
     void recordRebalance(const RebalanceEvent& e);
+    void recordResilience(const ResilienceEvent& e);
     void reset();
 
     std::int64_t totalBytes() const { return m_total_bytes; }
@@ -52,6 +54,16 @@ public:
     std::int64_t migrationBytes() const { return m_migration_bytes; }
     std::int64_t migrationBoxesMoved() const { return m_migration_boxes; }
 
+    // Resilience accounting (ResilienceEvent hook). Checkpoint commits
+    // fire on the async checkpointer's drain thread, so these counters are
+    // atomic — every other ledger counter is touched only from the main
+    // thread.
+    std::int64_t checkpointsWritten() const { return m_checkpoints.load(); }
+    std::int64_t checkpointBytes() const { return m_checkpoint_bytes.load(); }
+    std::int64_t ranksRecovered() const { return m_ranks_recovered.load(); }
+    std::int64_t recoveryReplaySteps() const { return m_replay_steps.load(); }
+    std::int64_t recoveryBytes() const { return m_recovery_bytes.load(); }
+
     // Bytes that would cross the node boundary under the given layout.
     std::int64_t offNodeBytes(const RankLayout& layout) const;
 
@@ -75,6 +87,11 @@ private:
     std::int64_t m_rebalances = 0;
     std::int64_t m_migration_bytes = 0;
     std::int64_t m_migration_boxes = 0;
+    std::atomic<std::int64_t> m_checkpoints{0};
+    std::atomic<std::int64_t> m_checkpoint_bytes{0};
+    std::atomic<std::int64_t> m_ranks_recovered{0};
+    std::atomic<std::int64_t> m_replay_steps{0};
+    std::atomic<std::int64_t> m_recovery_bytes{0};
     bool m_attached = false;
 };
 

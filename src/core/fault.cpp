@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace exa::fault {
 
@@ -22,8 +24,9 @@ SiteState g_sites[nsites];
 std::atomic<int> g_armed_count{0};
 
 constexpr const char* kNames[nsites] = {
-    "burn-zone-failure", "hydro-nan-flux", "arena-alloc-failure",
+    "burn-zone-failure",   "hydro-nan-flux",      "arena-alloc-failure",
     "halo-payload-corrupt", "checkpoint-bit-flip", "migration-payload-corrupt",
+    "rank-failure",        "comm-message-drop",
 };
 
 // splitmix64: a well-mixed hash of (seed, hit) for the probability mode.
@@ -52,11 +55,7 @@ std::once_flag g_env_once;
 void initFromEnvironment() {
     const char* e = std::getenv("EXA_FAULTS");
     if (e == nullptr || *e == '\0') return;
-    std::string err;
-    if (!configureFromString(e, &err)) {
-        std::fprintf(stderr, "[exa-fault] ignoring malformed EXA_FAULTS: %s\n",
-                     err.c_str());
-    }
+    configureFromStringOrDie(e);
 }
 void ensureEnvInit() { std::call_once(g_env_once, initFromEnvironment); }
 
@@ -138,6 +137,10 @@ bool configureFromString(const std::string& cfg, std::string* error) {
         if (error != nullptr) *error = why;
         return false;
     };
+    // Parse the whole string before arming anything: a config that is
+    // rejected must leave the registry untouched, not half-armed up to
+    // the first malformed entry.
+    std::vector<std::pair<Site, Spec>> parsed;
     std::size_t pos = 0;
     while (pos < cfg.size()) {
         std::size_t end = cfg.find(';', pos);
@@ -184,9 +187,24 @@ bool configureFromString(const std::string& cfg, std::string* error) {
                 }
             }
         }
-        arm(site, spec);
+        if (spec.probability > 1.0) {
+            return fail("prob " + std::to_string(spec.probability) +
+                        " out of [0,1] for site '" + name + "'");
+        }
+        parsed.emplace_back(site, spec);
     }
+    for (const auto& [site, spec] : parsed) arm(site, spec);
     return true;
+}
+
+void configureFromStringOrDie(const std::string& cfg) {
+    std::string err;
+    if (!configureFromString(cfg, &err)) {
+        std::fprintf(stderr,
+                     "[exa-fault] rejecting malformed fault config \"%s\": %s\n",
+                     cfg.c_str(), err.c_str());
+        std::exit(2);
+    }
 }
 
 } // namespace exa::fault

@@ -37,6 +37,8 @@ enum class Site : int {
     HaloPayloadCorrupt,  // MultiFab copy plan: one copied value becomes NaN
     CheckpointBitFlip,   // writePlotfile(): one bit of a fab payload flips on disk
     MigrationPayloadCorrupt, // MultiFab::Redistribute(): one migrated fab poisoned
+    RankFailure,         // ResilienceSupervisor heartbeat: a modeled rank dies
+    CommMessageDrop,     // MultiFab copy plan: one off-rank message is dropped
     count_
 };
 inline constexpr int nsites = static_cast<int>(Site::count_);
@@ -87,6 +89,13 @@ bool shouldFire(Site s);
 // false and fills *error on a malformed spec. Example:
 //   EXA_FAULTS="burn-zone-failure:start=40,count=2;halo-payload-corrupt:prob=0.01,seed=7"
 bool configureFromString(const std::string& cfg, std::string* error = nullptr);
+
+// configureFromString, but a malformed spec is fatal: print the parse
+// error to stderr and exit non-zero. EXA_FAULTS goes through this — a
+// fault campaign whose config is silently dropped would report a 100%
+// survival rate for runs that never saw a fault, so rejecting loudly is
+// the only safe behavior.
+void configureFromStringOrDie(const std::string& cfg);
 
 // RAII arming for tests: arms on construction, disarms on destruction.
 class ScopedFault {

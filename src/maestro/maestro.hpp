@@ -74,6 +74,20 @@ public:
     Real time() const { return m_time; }
     int stepCount() const { return m_nstep; }
 
+    // Restore path (resilience): rewind the clock to a checkpoint's time
+    // and step count after the state fabs (state, phi, divu) have been
+    // restored; replay from here is deterministic.
+    void resetTime(Real t, int nstep) {
+        m_time = t;
+        m_nstep = nstep;
+    }
+
+    // Projection companions, exposed for checkpoint/restore: phi seeds the
+    // next projection solve and divu is its last divergence field — both
+    // must round-trip through a checkpoint for bit-identical replay.
+    MultiFab& phi() { return m_phi; }
+    MultiFab& divu() { return m_divu; }
+
     // Retry accounting for the guarded steps of this run.
     const RetryStats& retryStats() const { return m_guard.stats(); }
 

@@ -58,6 +58,11 @@ public:
     double coveredFraction(int lev) const;
 
 protected:
+    // Restore path (resilience): a checkpoint may hold a different number
+    // of levels than the live hierarchy; drivers rebuilding themselves on
+    // checkpoint grids reset the level count here before remaking levels.
+    void setFinestLevel(int lev) { m_finest_level = lev; }
+
     // --- hooks implemented by the application ---------------------------
     // Fill level `lev` state from scratch on the given grids.
     virtual void MakeNewLevelFromScratch(int lev, const BoxArray& ba,

@@ -6,6 +6,7 @@ namespace {
 MessageHook g_hook;
 HaloHook g_halo_hook;
 RebalanceHook g_rebalance_hook;
+ResilienceHook g_resilience_hook;
 }
 
 void CommHooks::setMessageHook(MessageHook h) { g_hook = std::move(h); }
@@ -31,6 +32,17 @@ void CommHooks::notifyRebalance(const RebalanceEvent& e) {
 }
 bool CommHooks::rebalanceActive() {
     return static_cast<bool>(g_rebalance_hook);
+}
+
+void CommHooks::setResilienceHook(ResilienceHook h) {
+    g_resilience_hook = std::move(h);
+}
+void CommHooks::clearResilienceHook() { g_resilience_hook = nullptr; }
+void CommHooks::notifyResilience(const ResilienceEvent& e) {
+    if (g_resilience_hook) g_resilience_hook(e);
+}
+bool CommHooks::resilienceActive() {
+    return static_cast<bool>(g_resilience_hook);
 }
 
 } // namespace exa

@@ -51,6 +51,23 @@ struct RebalanceEvent {
 
 using RebalanceHook = std::function<void(const RebalanceEvent&)>;
 
+// Resilience accounting deltas from the supervisor/checkpointer: committed
+// checkpoints and their payload bytes, ranks recovered by shrink recovery,
+// replayed steps, and the bytes re-read from disk during localized
+// restore. Fired with partial deltas as events happen (a checkpoint commit
+// fires {1, bytes, 0, 0, 0}); the ledger accumulates. The checkpoint
+// commit fires on the *drain thread*, so the receiving hook must be
+// thread-safe (CommLedger keeps these counters atomic).
+struct ResilienceEvent {
+    std::int64_t checkpoints = 0;
+    std::int64_t checkpoint_bytes = 0;
+    std::int64_t ranks_recovered = 0;
+    std::int64_t replay_steps = 0;
+    std::int64_t recovery_bytes = 0;
+};
+
+using ResilienceHook = std::function<void(const ResilienceEvent&)>;
+
 // Process-global sink for message records (mirrors ExecConfig's launch
 // hook). Registered by the comm/perf layer; cheap no-op when absent.
 class CommHooks {
@@ -71,6 +88,14 @@ public:
     static void clearRebalanceHook();
     static void notifyRebalance(const RebalanceEvent& e);
     static bool rebalanceActive();
+
+    // Resilience events (checkpoint commits, rank recoveries). May fire
+    // from the checkpoint drain thread; set/clear only while no run is in
+    // progress.
+    static void setResilienceHook(ResilienceHook h);
+    static void clearResilienceHook();
+    static void notifyResilience(const ResilienceEvent& e);
+    static bool resilienceActive();
 };
 
 } // namespace exa

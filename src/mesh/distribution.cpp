@@ -52,6 +52,15 @@ DistributionMapping::DistributionMapping(const BoxArray& ba, int nranks,
     build(ba, cost, strategy);
 }
 
+DistributionMapping::DistributionMapping(std::vector<int> rank_table, int nranks)
+    : m_rank(std::move(rank_table)), m_nranks(std::max(1, nranks)),
+      m_id(nextDmId()) {
+    for (const int r : m_rank) {
+        assert(r >= 0 && r < m_nranks);
+        (void)r;
+    }
+}
+
 void DistributionMapping::build(const BoxArray& ba, const std::vector<double>& cost,
                                 Strategy strategy) {
     const std::size_t n = ba.size();

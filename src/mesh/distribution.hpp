@@ -32,6 +32,13 @@ public:
                         const std::vector<double>& cost,
                         Strategy strategy = Strategy::Knapsack);
 
+    // Explicit rank table: box i lives on rank_table[i]. This is the
+    // shrink-recovery path — the supervisor builds a cost-weighted mapping
+    // over n_alive packed slots and remaps each slot onto a surviving rank
+    // id, so the table is arbitrary rather than strategy-shaped. Every
+    // entry must satisfy 0 <= rank_table[i] < nranks.
+    DistributionMapping(std::vector<int> rank_table, int nranks);
+
     int operator[](std::size_t box_index) const { return m_rank[box_index]; }
     std::size_t size() const { return m_rank.size(); }
     int numRanks() const { return m_nranks; }

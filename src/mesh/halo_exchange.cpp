@@ -18,6 +18,7 @@
 
 #include "core/debug.hpp"
 #include "core/executor.hpp"
+#include "core/fault.hpp"
 #include "mesh/comm_hooks.hpp"
 #include "mesh/copier_cache.hpp"
 #include "mesh/multifab.hpp"
@@ -79,6 +80,12 @@ void HaloHandle::finish() {
         StreamScope streams;
         for (std::size_t i = 0; i < im.plan->items.size(); ++i) {
             const CopyItem& item = im.plan->items[i];
+            // Injection site: same dropped-message semantics as the fused
+            // copyFromPlan path — an off-rank payload never arrives.
+            if (!item.local() &&
+                fault::shouldFire(fault::Site::CommMessageDrop)) {
+                continue;
+            }
             streams.useFab(static_cast<std::size_t>(item.dst_fab));
             im.dst->fab(item.dst_fab).copyFrom(im.staged[i], item.src_box, 0,
                                                item.dst_box, im.dcomp, im.ncomp);

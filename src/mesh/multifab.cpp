@@ -91,6 +91,13 @@ void MultiFab::copyFromPlan(const CopyPlan& plan, const MultiFab& src, int scomp
     const bool account = CommHooks::active();
     StreamScope streams;
     for (const CopyItem& item : plan.items) {
+        // Injection site: a dropped off-rank message — the payload never
+        // arrives, so neither the copy nor its accounting happens and the
+        // destination keeps whatever (stale) values it had. Local items
+        // are in-memory copies, not messages, and cannot drop.
+        if (!item.local() && fault::shouldFire(fault::Site::CommMessageDrop)) {
+            continue;
+        }
         streams.useFab(static_cast<std::size_t>(item.dst_fab));
         m_fabs[item.dst_fab].copyFrom(src.m_fabs[item.src_fab], item.src_box, scomp,
                                       item.dst_box, dcomp, ncomp);

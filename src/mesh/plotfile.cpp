@@ -39,13 +39,39 @@ std::string fabPath(const std::string& dir, int lev, std::size_t f) {
 
 } // namespace
 
-std::int64_t writePlotfile(const std::string& dir,
-                           const std::vector<const MultiFab*>& state,
-                           const std::vector<Geometry>& geom,
-                           const std::vector<std::string>& varnames, Real time,
-                           int step) {
-    if (state.empty() || state.size() != geom.size()) {
-        throw std::invalid_argument("writePlotfile: level count mismatch");
+StagedLevel stageLevel(const MultiFab& mf, const Geometry& geom) {
+    StagedLevel out;
+    out.ncomp = mf.nComp();
+    out.domain_len[0] = geom.domain().length(0);
+    out.domain_len[1] = geom.domain().length(1);
+    out.domain_len[2] = geom.domain().length(2);
+    out.fabs.resize(mf.size());
+    for (std::size_t f = 0; f < mf.size(); ++f) {
+        // Valid-region payload: the "copy to CPU memory" — ghost zones are
+        // never persisted. Plain loops in FArrayBox order (i fastest, then
+        // j, k, component) so the buffer is byte-identical to the
+        // FArrayBox copy the pre-refactor writer persisted.
+        const Box& vb = mf.box(static_cast<int>(f));
+        auto a = mf.const_array(static_cast<int>(f));
+        StagedFab& sf = out.fabs[f];
+        sf.box = vb;
+        sf.data.resize(static_cast<std::size_t>(vb.numPts()) * out.ncomp);
+        std::size_t idx = 0;
+        for (int n = 0; n < out.ncomp; ++n)
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                    for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i)
+                        sf.data[idx++] = a(i, j, k, n);
+    }
+    return out;
+}
+
+std::int64_t writeStagedPlotfile(const std::string& dir,
+                                 const std::vector<StagedLevel>& levels,
+                                 const std::vector<std::string>& varnames,
+                                 Real time, int step) {
+    if (levels.empty()) {
+        throw std::invalid_argument("writeStagedPlotfile: no levels");
     }
     // Stage everything under <dir>.tmp, rename into place only when every
     // byte has been written and verified good.
@@ -63,31 +89,25 @@ std::int64_t writePlotfile(const std::string& dir,
     // they stream out.
     std::ostringstream hdr;
     hdr << "ExaStroPlotfile-2\n";
-    hdr << state.size() << ' ' << state[0]->nComp() << '\n';
+    hdr << levels.size() << ' ' << levels[0].ncomp << '\n';
     hdr.precision(17);
     hdr << time << ' ' << step << '\n';
     for (const auto& v : varnames) hdr << v << '\n';
 
-    for (std::size_t lev = 0; lev < state.size(); ++lev) {
-        const MultiFab& mf = *state[lev];
-        const Geometry& g = geom[lev];
+    for (std::size_t lev = 0; lev < levels.size(); ++lev) {
+        const StagedLevel& sl = levels[lev];
         const std::string ldir = tmp + "/Level_" + std::to_string(lev);
         if (!fs::create_directories(ldir)) {
             throw std::runtime_error("writePlotfile: cannot create " + ldir);
         }
-        hdr << mf.size() << ' ' << g.domain().length(0) << ' '
-            << g.domain().length(1) << ' ' << g.domain().length(2) << '\n';
-        for (std::size_t f = 0; f < mf.size(); ++f) {
-            // Valid-region payload: the "copy to CPU memory" — ghost zones
-            // are never persisted.
-            const Box& vb = mf.box(static_cast<int>(f));
-            FArrayBox host_copy(vb, mf.nComp());
-            host_copy.copyFrom(mf.fab(static_cast<int>(f)), vb, 0, vb, 0,
-                               mf.nComp());
+        hdr << sl.fabs.size() << ' ' << sl.domain_len[0] << ' '
+            << sl.domain_len[1] << ' ' << sl.domain_len[2] << '\n';
+        for (std::size_t f = 0; f < sl.fabs.size(); ++f) {
+            const Box& vb = sl.fabs[f].box;
             const std::int64_t nbytes =
-                vb.numPts() * mf.nComp() * static_cast<std::int64_t>(sizeof(Real));
+                static_cast<std::int64_t>(sl.fabs[f].data.size() * sizeof(Real));
             const std::uint32_t crc =
-                crc32(host_copy.dataPtr(), static_cast<std::size_t>(nbytes));
+                crc32(sl.fabs[f].data.data(), static_cast<std::size_t>(nbytes));
 
             const std::string path =
                 fabPath(tmp, static_cast<int>(lev), f);
@@ -96,7 +116,7 @@ std::int64_t writePlotfile(const std::string& dir,
                 if (!bin) {
                     throw std::runtime_error("writePlotfile: cannot open " + path);
                 }
-                bin.write(reinterpret_cast<const char*>(host_copy.dataPtr()),
+                bin.write(reinterpret_cast<const char*>(sl.fabs[f].data.data()),
                           nbytes);
                 bin.flush();
                 if (!bin) {
@@ -106,7 +126,8 @@ std::int64_t writePlotfile(const std::string& dir,
             }
             // Injection site: silent media corruption after a successful
             // write — one bit of the persisted payload flips, which restart
-            // must catch via the CRC recorded above.
+            // must catch via the CRC recorded above. (shouldFire is
+            // mutex-protected, so this is safe from the drain thread.)
             if (fault::shouldFire(fault::Site::CheckpointBitFlip)) {
                 std::fstream fix(path,
                                  std::ios::binary | std::ios::in | std::ios::out);
@@ -145,6 +166,22 @@ std::int64_t writePlotfile(const std::string& dir,
     }
     cleanup.release();
     return bytes;
+}
+
+std::int64_t writePlotfile(const std::string& dir,
+                           const std::vector<const MultiFab*>& state,
+                           const std::vector<Geometry>& geom,
+                           const std::vector<std::string>& varnames, Real time,
+                           int step) {
+    if (state.empty() || state.size() != geom.size()) {
+        throw std::invalid_argument("writePlotfile: level count mismatch");
+    }
+    std::vector<StagedLevel> levels;
+    levels.reserve(state.size());
+    for (std::size_t lev = 0; lev < state.size(); ++lev) {
+        levels.push_back(stageLevel(*state[lev], geom[lev]));
+    }
+    return writeStagedPlotfile(dir, levels, varnames, time, step);
 }
 
 std::int64_t writePlotfile(const std::string& dir, const MultiFab& state,
@@ -231,54 +268,144 @@ PlotfileHeader readPlotfileHeader(const std::string& dir) {
     return out;
 }
 
+namespace {
+
+// Read and verify one payload against a parsed header; the staged box is
+// the header's box for (lev, f). Throws a message of the form
+// "fab <f> of level <lev> (<path>): <why>" — readPlotfileLevel and
+// verifyPlotfile both reuse these fragments verbatim.
+StagedFab readVerifiedFab(const std::string& dir, const PlotfileHeader& h,
+                          int lev, int f, int ncomp) {
+    const std::string path = fabPath(dir, lev, static_cast<std::size_t>(f));
+    auto fabError = [&](const std::string& why) {
+        std::ostringstream os;
+        os << "fab " << f << " of level " << lev << " (" << path << "): " << why;
+        return std::runtime_error(os.str());
+    };
+    const Box& vb = h.boxes[lev][static_cast<std::size_t>(f)];
+    const std::int64_t nbytes =
+        vb.numPts() * ncomp * static_cast<std::int64_t>(sizeof(Real));
+    if (h.version >= 2 && h.fab_bytes[lev][static_cast<std::size_t>(f)] != nbytes) {
+        std::ostringstream os;
+        os << "payload size mismatch (header says "
+           << h.fab_bytes[lev][static_cast<std::size_t>(f)]
+           << " bytes, state needs " << nbytes << ")";
+        throw fabError(os.str());
+    }
+    StagedFab out;
+    out.box = vb;
+    out.data.resize(static_cast<std::size_t>(vb.numPts()) * ncomp);
+    std::ifstream bin(path, std::ios::binary);
+    if (!bin) throw fabError("missing fab file");
+    bin.read(reinterpret_cast<char*>(out.data.data()), nbytes);
+    if (bin.gcount() != nbytes) {
+        std::ostringstream os;
+        os << "short read (" << bin.gcount() << " of " << nbytes << " bytes)";
+        throw fabError(os.str());
+    }
+    if (h.version >= 2) {
+        const std::uint32_t actual =
+            crc32(out.data.data(), static_cast<std::size_t>(nbytes));
+        if (actual != h.fab_crc[lev][static_cast<std::size_t>(f)]) {
+            std::ostringstream os;
+            os << "checksum mismatch (stored "
+               << h.fab_crc[lev][static_cast<std::size_t>(f)] << ", computed "
+               << actual << ") — corrupted payload";
+            throw fabError(os.str());
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+StagedFab readPlotfileFab(const std::string& dir, const PlotfileHeader& h,
+                          int lev, int f) {
+    if (lev >= h.nlevels) {
+        throw std::runtime_error("readPlotfileFab: no such level");
+    }
+    if (f < 0 || static_cast<std::size_t>(f) >= h.boxes[lev].size()) {
+        throw std::runtime_error("readPlotfileFab: no such fab");
+    }
+    try {
+        return readVerifiedFab(dir, h, lev, f, h.ncomp);
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(std::string("readPlotfileFab: ") + e.what());
+    }
+}
+
+void applyStagedFab(MultiFab& state, int f, const StagedFab& staged) {
+    const Box& vb = state.box(f);
+    if (!(vb == staged.box)) {
+        throw std::runtime_error("applyStagedFab: box mismatch");
+    }
+    auto a = state.array(f);
+    const int ncomp = state.nComp();
+    std::size_t idx = 0;
+    for (int n = 0; n < ncomp; ++n)
+        for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k)
+            for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
+                for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i)
+                    a(i, j, k, n) = staged.data[idx++];
+}
+
 std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state) {
     const PlotfileHeader h = readPlotfileHeader(dir);
     if (lev >= h.nlevels) throw std::runtime_error("readPlotfileLevel: no such level");
     if (h.boxes[lev].size() != state.size()) {
         throw std::runtime_error("readPlotfileLevel: BoxArray mismatch");
     }
+    // Two passes: read + verify everything first, apply only if every fab
+    // is good. The error names ALL damaged fabs, so a caller can decide
+    // between per-fab restore (readPlotfileFab on the bad ones) and full
+    // rollback — and `state` is never left half-restored.
     std::int64_t bytes = 0;
+    std::vector<StagedFab> staged(state.size());
+    std::vector<std::string> problems;
     for (std::size_t f = 0; f < state.size(); ++f) {
         const Box& vb = state.box(static_cast<int>(f));
-        const std::string path = fabPath(dir, lev, f);
-        auto fabError = [&](const std::string& why) {
+        if (!(vb == h.boxes[lev][f])) {
             std::ostringstream os;
-            os << "readPlotfileLevel: fab " << f << " of level " << lev << " ("
-               << path << "): " << why;
-            return std::runtime_error(os.str());
-        };
-        if (!(vb == h.boxes[lev][f])) throw fabError("box mismatch");
-        const std::int64_t nbytes =
-            vb.numPts() * state.nComp() * static_cast<std::int64_t>(sizeof(Real));
-        if (h.version >= 2 && h.fab_bytes[lev][f] != nbytes) {
-            std::ostringstream os;
-            os << "payload size mismatch (header says " << h.fab_bytes[lev][f]
-               << " bytes, state needs " << nbytes << ")";
-            throw fabError(os.str());
+            os << "fab " << f << " of level " << lev << " ("
+               << fabPath(dir, lev, f) << "): box mismatch";
+            problems.push_back(os.str());
+            continue;
         }
-        FArrayBox host(vb, state.nComp());
-        std::ifstream bin(path, std::ios::binary);
-        if (!bin) throw fabError("missing fab file");
-        bin.read(reinterpret_cast<char*>(host.dataPtr()), nbytes);
-        if (bin.gcount() != nbytes) {
-            std::ostringstream os;
-            os << "short read (" << bin.gcount() << " of " << nbytes << " bytes)";
-            throw fabError(os.str());
+        try {
+            staged[f] = readVerifiedFab(dir, h, lev, static_cast<int>(f),
+                                        state.nComp());
+            bytes += static_cast<std::int64_t>(staged[f].data.size() *
+                                               sizeof(Real));
+        } catch (const std::runtime_error& e) {
+            problems.push_back(e.what());
         }
-        if (h.version >= 2) {
-            const std::uint32_t actual =
-                crc32(host.dataPtr(), static_cast<std::size_t>(nbytes));
-            if (actual != h.fab_crc[lev][f]) {
-                std::ostringstream os;
-                os << "checksum mismatch (stored " << h.fab_crc[lev][f]
-                   << ", computed " << actual << ") — corrupted payload";
-                throw fabError(os.str());
-            }
-        }
-        state.fab(static_cast<int>(f)).copyFrom(host, vb, 0, vb, 0, state.nComp());
-        bytes += nbytes;
+    }
+    if (!problems.empty()) {
+        std::ostringstream os;
+        os << "readPlotfileLevel: " << problems.size()
+           << " damaged fab(s) in " << dir << ":";
+        for (const std::string& p : problems) os << "\n  " << p;
+        throw std::runtime_error(os.str());
+    }
+    for (std::size_t f = 0; f < state.size(); ++f) {
+        applyStagedFab(state, static_cast<int>(f), staged[f]);
     }
     return bytes;
+}
+
+std::vector<FabIssue> verifyPlotfile(const std::string& dir) {
+    const PlotfileHeader h = readPlotfileHeader(dir);
+    std::vector<FabIssue> issues;
+    for (int lev = 0; lev < h.nlevels; ++lev) {
+        for (std::size_t f = 0; f < h.boxes[lev].size(); ++f) {
+            try {
+                (void)readVerifiedFab(dir, h, lev, static_cast<int>(f), h.ncomp);
+            } catch (const std::runtime_error& e) {
+                issues.push_back(FabIssue{lev, static_cast<int>(f), e.what()});
+            }
+        }
+    }
+    return issues;
 }
 
 } // namespace exa

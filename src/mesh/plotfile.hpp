@@ -33,6 +33,36 @@ namespace exa {
 // Version-1 files (no checksums) are still readable; their payloads are
 // only size-checked.
 
+// One fab's valid-region payload, copied into a plain host buffer in
+// FArrayBox layout (Fortran order, component-last) — exactly the bytes
+// that go to disk. Staging is the only part of a checkpoint that touches
+// MultiFab data, so a staged level can be handed to a background writer
+// thread while the step loop keeps mutating the live state.
+struct StagedFab {
+    Box box;
+    std::vector<Real> data;
+};
+
+struct StagedLevel {
+    int ncomp = 0;
+    int domain_len[3] = {0, 0, 0};
+    std::vector<StagedFab> fabs;
+};
+
+// Blocking valid-region copy of one MultiFab into host buffers. Runs as
+// plain loops on the calling thread — no kernel launches — so the result
+// (and writeStagedPlotfile on it) is safe off the main thread, where
+// ParallelFor's backend state must never be touched.
+StagedLevel stageLevel(const MultiFab& mf, const Geometry& geom);
+
+// Write staged levels as a plotfile. Pure host code (file I/O + CRC only):
+// this is the half of writePlotfile the async checkpointer's drain thread
+// runs. Same atomic <dir>.tmp + rename protocol as writePlotfile.
+std::int64_t writeStagedPlotfile(const std::string& dir,
+                                 const std::vector<StagedLevel>& levels,
+                                 const std::vector<std::string>& varnames,
+                                 Real time, int step);
+
 // Write one level (or several) of state. Returns total payload bytes.
 // Throws std::runtime_error if any part of the write fails; on failure the
 // destination directory is left untouched (no partial checkpoint).
@@ -65,8 +95,32 @@ struct PlotfileHeader {
 PlotfileHeader readPlotfileHeader(const std::string& dir);
 
 // Restart: read level `lev` data into `state`, whose BoxArray must match
-// the file's. Returns bytes read. Throws std::runtime_error naming the
-// offending fab on a missing file, short read, or checksum mismatch.
+// the file's. Returns bytes read. Throws std::runtime_error naming *every*
+// corrupted/missing fab (missing file, short read, or checksum mismatch)
+// so a caller deciding between per-fab restore and full rollback sees the
+// complete damage report; `state` is untouched unless every fab is good.
 std::int64_t readPlotfileLevel(const std::string& dir, int lev, MultiFab& state);
+
+// Localized recovery: read a single fab's payload (CRC-verified for v2)
+// against an already-parsed header. Throws naming the fab on any failure.
+StagedFab readPlotfileFab(const std::string& dir, const PlotfileHeader& h,
+                          int lev, int f);
+
+// Copy a staged payload into fab `f` of `state` (plain host loops; valid
+// region only). The staged box must equal the fab's valid box.
+void applyStagedFab(MultiFab& state, int f, const StagedFab& staged);
+
+// One damaged payload found by verifyPlotfile.
+struct FabIssue {
+    int lev = 0;
+    int fab = 0;
+    std::string what;
+};
+
+// Integrity sweep without touching any MultiFab: verify the header (throws
+// if the header itself is unreadable or fails its checksum) and every fab
+// payload's size + CRC, returning ALL damaged fabs — the per-fab damage
+// report localized recovery needs to choose restore granularity.
+std::vector<FabIssue> verifyPlotfile(const std::string& dir);
 
 } // namespace exa

@@ -1,0 +1,143 @@
+#pragma once
+
+// The resilience supervisor: closes the loop from fault to recovery.
+//
+// A SupervisedDriver is a callback bundle over one simulation driver
+// (Castro, CastroAmr, Maestro — adapters.hpp builds them). The supervisor
+// owns the run loop: before each step it consults the Daly-scheduled
+// AsyncCheckpointer; after each step its heartbeat consults the
+// `rank-failure` fault site. When a modeled rank dies the supervisor
+// emulates the loss (the victim's fabs are poisoned — that memory is
+// gone), shrinks the cost-weighted DistributionMapping onto the surviving
+// ranks (ULFM-shrink style, reusing the SFC/knapsack builders +
+// MultiFab::Redistribute), restores checkpoint data — fabs whose
+// staging-time owner died come from the on-disk slot (per-fab CRC
+// verified), everything else from the retained in-memory staged copy —
+// and rewinds the driver clock. Replay then happens naturally in the same
+// loop; because every step is deterministic, the recovered run's final
+// state is bit-identical to an uninterrupted one.
+//
+// If a needed disk fab is corrupted (checkpoint-bit-flip campaign), the
+// supervisor falls back to a full rollback from the *other* slot; if that
+// also fails, or no rank survives, the run is unrecoverable and throws.
+
+#include "mesh/distribution.hpp"
+#include "mesh/step_guard.hpp"
+#include "resilience/checkpointer.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace exa::resilience {
+
+// Callback bundle over one driver. All callbacks run on the main thread.
+struct SupervisedDriver {
+    std::string name = "driver";
+    std::function<Real()> estimateDt;
+    std::function<void(Real)> step;
+    std::function<Real()> time;
+    std::function<int()> stepCount;
+    // Rewind the driver clock after the state has been restored.
+    std::function<void(Real, int)> resetTime;
+    // The fabs to checkpoint/restore (re-fetched at every checkpoint and
+    // recovery, so AMR adapters return the current hierarchy).
+    std::function<std::vector<CheckpointField>()> fields;
+    // Optional (AMR): rebuild the driver on the checkpoint's grids when a
+    // regrid made live layouts differ; per-field boxes in field order,
+    // mappings built by the supplied builder (the supervisor's shrink
+    // mapping over surviving ranks). Null: layouts never change.
+    std::function<void(
+        const std::vector<std::vector<Box>>&,
+        const std::function<DistributionMapping(const BoxArray&, int)>&)>
+        remakeForRestore;
+    // Optional: driver fixup after all fields hold restored data and
+    // resetTime has run (CastroAmr::finishRestore).
+    std::function<void()> postRestore;
+    // Optional: the driver's StepGuard retry stats, for the report.
+    std::function<const RetryStats*()> retryStats;
+};
+
+struct SupervisorOptions {
+    CheckpointerOptions checkpoint;
+    int nranks = 1;
+    DistributionMapping::Strategy strategy =
+        DistributionMapping::Strategy::Knapsack;
+    // Consult the rank-failure site after every step and recover.
+    bool heartbeat = true;
+    // Deterministic victim selection seed (hashed with the kill ordinal).
+    std::uint64_t victim_seed = 0x5eedULL;
+    bool verbose = false;
+};
+
+struct SupervisorReport {
+    int steps_run = 0;           // driver steps executed, replays included
+    int ranks_failed = 0;
+    int ranks_recovered = 0;
+    int replay_steps = 0;
+    int localized_restores = 0;  // lost fabs from disk, survivors from memory
+    int full_rollbacks = 0;      // whole state from the other slot
+    std::int64_t checkpoints_written = 0;
+    std::int64_t checkpoint_bytes = 0;
+    std::int64_t checkpoints_skipped = 0;
+    std::int64_t recovery_disk_bytes = 0;
+    double recovery_seconds = 0.0;
+    double step_seconds = 0.0;   // total wall time inside driver steps
+    int daly_interval_steps = 0; // final interval estimate
+
+    // Human-readable end-of-run report; includes the driver's StepGuard
+    // RetryStats when available.
+    std::string summary(const RetryStats* retry = nullptr) const;
+};
+
+class ResilienceSupervisor {
+public:
+    ResilienceSupervisor(SupervisedDriver driver, SupervisorOptions opt);
+
+    // Advance the driver by `nsteps` accepted steps (replayed steps do not
+    // count toward the target — the run ends at the same step count and,
+    // step for step, the same states as an uninterrupted run). Throws
+    // std::runtime_error when a failure is unrecoverable.
+    void runSteps(int nsteps);
+
+    const SupervisorReport& report() const { return m_report; }
+    AsyncCheckpointer& checkpointer() { return m_ckpt; }
+    int ranksAlive() const;
+    const std::vector<bool>& alive() const { return m_alive; }
+
+    // The report with the driver's retry stats folded in.
+    std::string summary() const;
+
+private:
+    void maybeCheckpoint();
+    void syncCheckpointStats();
+    // Heartbeat: true if a rank failure fired and was recovered.
+    bool heartbeat();
+    void killRank(int victim);
+    void recover();
+    // Restore every field from `snap`: disk for fabs whose staging-time
+    // owner is dead (CRC-verified), memory otherwise. Throws on a bad disk
+    // fab. Returns bytes read from disk.
+    std::int64_t restoreFromSnapshot(const CheckpointSnapshot& snap,
+                                     std::vector<CheckpointField>& fields);
+    // Full rollback from an on-disk slot (all fabs from disk).
+    std::int64_t restoreFromSlot(const std::string& slot,
+                                 std::vector<CheckpointField>& fields);
+    // Cost-weighted mapping over the surviving ranks for `ba` (packed
+    // knapsack/SFC build remapped onto alive rank ids).
+    DistributionMapping shrinkMapping(const BoxArray& ba) const;
+    // Redistribute every field (and companions) onto shrink mappings,
+    // reusing one mapping per distinct live layout.
+    void shrinkFields(std::vector<CheckpointField>& fields);
+    std::vector<int> aliveList() const;
+
+    SupervisedDriver m_driver;
+    SupervisorOptions m_opt;
+    AsyncCheckpointer m_ckpt;
+    std::vector<bool> m_alive;
+    int m_kills = 0;
+    SupervisorReport m_report;
+};
+
+} // namespace exa::resilience

@@ -135,3 +135,47 @@ TEST_F(FaultRegistryTest, ConfigureFromStringRejectsMalformedSpecs) {
     EXPECT_TRUE(fault::configureFromString("arena-alloc-failure", &err));
     EXPECT_TRUE(fault::armed(fault::Site::ArenaAllocFailure));
 }
+
+TEST_F(FaultRegistryTest, ResilienceSitesHaveNameParity) {
+    // The resilience PR added two sites; the enum and the name table must
+    // agree (the generic round-trip above covers the mapping, this pins
+    // the spellings the EXA_FAULTS docs advertise).
+    EXPECT_EQ(fault::nsites, 8);
+    EXPECT_STREQ(fault::siteName(fault::Site::RankFailure), "rank-failure");
+    EXPECT_STREQ(fault::siteName(fault::Site::CommMessageDrop),
+                 "comm-message-drop");
+    fault::Site s;
+    ASSERT_TRUE(fault::siteFromName("rank-failure", s));
+    EXPECT_EQ(s, fault::Site::RankFailure);
+    ASSERT_TRUE(fault::siteFromName("comm-message-drop", s));
+    EXPECT_EQ(s, fault::Site::CommMessageDrop);
+}
+
+TEST_F(FaultRegistryTest, ConfigureFromStringIsAtomic) {
+    // A malformed entry anywhere in the string arms *nothing*: a campaign
+    // must never run with half its schedule silently dropped.
+    std::string err;
+    EXPECT_FALSE(fault::configureFromString(
+        "rank-failure:start=3;halo-payload-corrupt:prob=1.5", &err));
+    EXPECT_FALSE(fault::armed(fault::Site::RankFailure));
+    EXPECT_FALSE(fault::anyArmed());
+    EXPECT_NE(err.find("prob"), std::string::npos);
+}
+
+TEST_F(FaultRegistryTest, ConfigureFromStringRejectsOutOfRangeProbability) {
+    std::string err;
+    EXPECT_FALSE(fault::configureFromString("rank-failure:prob=1.01", &err));
+    EXPECT_NE(err.find("prob"), std::string::npos);
+    EXPECT_TRUE(fault::configureFromString("rank-failure:prob=1.0", &err))
+        << err;
+}
+
+TEST_F(FaultRegistryTest, ConfigureFromStringOrDieExitsOnMalformedSpec) {
+    EXPECT_EXIT(fault::configureFromStringOrDie("rank-failure:banana=1"),
+                ::testing::ExitedWithCode(2),
+                "rejecting malformed fault config");
+    // A valid config arms normally (the death test ran in a child).
+    fault::configureFromStringOrDie("rank-failure:start=5");
+    EXPECT_TRUE(fault::armed(fault::Site::RankFailure));
+    EXPECT_EQ(fault::stats(fault::Site::RankFailure).spec.start, 5);
+}
