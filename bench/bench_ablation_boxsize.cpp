@@ -28,7 +28,7 @@ int main() {
     SedovParams sp;
     sp.ncell = 32;
     sp.max_grid_size = 16;
-    auto c = makeSedov(sp, net);
+    auto c = sp.build(net);
     ScopedBackend sb(Backend::SimGpu);
     DeviceModel dev;
     dev.attach();

@@ -34,7 +34,7 @@ int main() {
     SedovParams sp;
     sp.ncell = 32;
     sp.max_grid_size = 16; // 8 boxes of 16^3
-    auto castro_run = makeSedov(sp, net);
+    auto castro_run = sp.build(net);
 
     ScopedBackend sb(Backend::SimGpu);
     ExecConfig::setNumStreams(4);

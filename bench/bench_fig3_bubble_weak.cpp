@@ -36,7 +36,7 @@ int main() {
     bp.do_react = true;
     bp.T_bubble = 9.0e8;
     bp.bubble_radius_frac = 0.22; // a substantial burning region
-    auto m = makeReactingBubble(bp, net);
+    auto m = bp.build(net);
 
     ScopedBackend sb(Backend::SimGpu);
     ExecConfig::setNumStreams(4);

@@ -52,7 +52,7 @@ RunResult runCollision(int ncell, const ReactionNetwork& net) {
     // spherical until contact); the react-vs-gravity cost comparison
     // below prices the paper's Poisson solve with the multigrid model.
     p.gravity = GravityType::Monopole;
-    auto wd = makeWdCollision(p, net);
+    auto wd = p.build(net);
 
     TimerRegistry::instance().reset();
     ScopedBackend sb(Backend::SimGpu);

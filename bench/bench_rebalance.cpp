@@ -176,7 +176,7 @@ int main() {
         p.rebalance.warmup_steps = 2;
         p.rebalance.min_interval = 4;
         p.rebalance.imbalance_trigger = 1.2;
-        auto m = maestro::makeReactingBubble(p, bubble_net);
+        auto m = p.build(bubble_net);
         const Real dt = m->estimateDt();
         for (int s = 0; s < 8; ++s) m->step(dt);
         const auto& st = m->rebalancer().stats();

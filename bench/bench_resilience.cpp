@@ -37,7 +37,7 @@ std::unique_ptr<castro::Castro> blast(const ReactionNetwork& net, int ncell,
     p.nranks = nranks;
     p.guard.enabled = true;
     p.guard.verbose = false;
-    return castro::makeSedov(p, net);
+    return p.build(net);
 }
 
 double wallSeconds(const std::function<void()>& f) {

@@ -50,7 +50,7 @@ std::unique_ptr<Castro> blast(const ReactionNetwork& net, int ncell, bool guarde
     p.max_grid_size = 16;
     p.guard.enabled = guarded;
     p.guard.verbose = false;
-    return makeSedov(p, net);
+    return p.build(net);
 }
 
 } // namespace
@@ -112,7 +112,7 @@ int main() {
         p.guard.verbose = false;
         p.guard.max_retries = 3;
         p.guard.policy = RetryPolicy::ClampAndWarn;
-        auto d = makeSedov(p, net);
+        auto d = p.build(net);
         const Real ddt = 0.5 * d->estimateDt();
         d->step(ddt);
         double t_degrade;

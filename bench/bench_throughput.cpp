@@ -29,7 +29,7 @@ double measureCpuSedov() {
     castro::SedovParams sp;
     sp.ncell = 32;
     sp.max_grid_size = 32;
-    auto c = castro::makeSedov(sp, net);
+    auto c = sp.build(net);
     ScopedBackend sb(Backend::Serial);
     c->step(c->estimateDt()); // warm up
     WallTimer t;
@@ -49,7 +49,7 @@ double measureCpuBubble() {
     bp.max_grid_size = 16;
     bp.T_bubble = 9.0e8;
     bp.bubble_radius_frac = 0.22;
-    auto m = maestro::makeReactingBubble(bp, net);
+    auto m = bp.build(net);
     ScopedBackend sb(Backend::Serial);
     WallTimer t;
     const int nsteps = 2;
@@ -71,7 +71,7 @@ int main() {
     castro::SedovParams sp;
     sp.ncell = 32;
     sp.max_grid_size = 16;
-    auto c = castro::makeSedov(sp, net);
+    auto c = sp.build(net);
     ScopedBackend sb(Backend::SimGpu);
     DeviceModel dev;
     dev.attach();

@@ -3,73 +3,38 @@
 // dynamically regridded 2x refined level tracking the hot region, written
 // out as an AMReX-style plotfile.
 //
-// Run:  ./amr_blast [nsteps]
+// Run:  ./amr_blast [key=value ...]    e.g.  ./amr_blast max-steps=50
 
-#include "castro/castro_amr.hpp"
-#include "core/parallel_for.hpp"
+#include "ensemble/scenarios.hpp"
 #include "mesh/plotfile.hpp"
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 using namespace exa;
 using namespace exa::castro;
+using namespace exa::ensemble;
 
 int main(int argc, char** argv) {
-    const int nsteps = argc > 1 ? std::atoi(argv[1]) : 30;
+    ScenarioConfig cfg = ScenarioConfig::fromArgs(argc, argv);
+    if (!cfg.has("max-steps")) cfg.set("max-steps", "30");
 
-    auto net = makeIgnitionSimple();
-    Box dom({0, 0, 0}, {15, 15, 15});
-    Geometry geom(dom, {0, 0, 0}, {1, 1, 1});
-    AmrInfo info;
-    info.max_level = 1;
-    info.ref_ratio = 2;
-    info.max_grid_size = 16;
-    info.blocking_factor = 4;
-    info.nranks = 4;
+    auto scenario = makeScenarioByName("amr-blast", cfg);
+    scenario->init();
+    auto& blast = dynamic_cast<AmrBlastScenario&>(*scenario);
+    CastroAmr& amr = blast.driver();
 
-    CastroOptions opt;
-    opt.bc = DomainBC::allOutflow();
-    opt.cfl = 0.3;
-    opt.reconstruction = Reconstruction::PPM; // production Castro's scheme
-
-    const Real r_init = 0.125;
-    const Real e_in = 1.0 / ((4.0 / 3.0) * constants::pi * std::pow(r_init, 3));
-    Castro::InitFn init = [=](Real x, Real y, Real z) {
-        Castro::InitialZone zn;
-        zn.rho = 1.0;
-        const Real r = std::sqrt((x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5) +
-                                 (z - 0.5) * (z - 0.5));
-        zn.p = r <= r_init ? 0.4 * e_in : 1.0e-5;
-        zn.X = {1.0, 0.0};
-        return zn;
-    };
-    CastroAmr::TagFn tag = [](int, const Geometry&, const MultiFab& s,
-                              MultiFab& tags) {
-        for (std::size_t f = 0; f < tags.size(); ++f) {
-            auto t = tags.array(static_cast<int>(f));
-            auto u = s.const_array(static_cast<int>(f));
-            ParallelFor(tags.box(static_cast<int>(f)), [=](int i, int j, int k) {
-                if (u(i, j, k, StateLayout::UTEMP) > 1.0e-8) t(i, j, k) = 1.0;
-            });
-        }
-    };
-
-    Eos eos{GammaLawEos{1.4}};
-    CastroAmr amr(geom, info, net, eos, opt, init, tag);
-    amr.init();
-    std::printf("AMR blast: base 16^3 + %d refined level(s); level-1 covers "
+    std::printf("AMR blast: base %d^3 + %d refined level(s); level-1 covers "
                 "%.1f%% of the domain\n",
-                amr.finestLevel(), 100.0 * amr.coveredFraction(1));
+                blast.params().ncell, amr.finestLevel(),
+                100.0 * amr.coveredFraction(1));
 
     const Real m0 = amr.totalMass();
-    for (int s = 0; s < nsteps; ++s) {
-        amr.step(amr.estimateDt());
-        if (amr.stepCount() % 10 == 0) {
+    while (!scenario->finished()) {
+        scenario->advanceOnce();
+        if (scenario->stepCount() % 10 == 0) {
             std::printf("  step %3d t = %.4f  level-1 zones = %lld (%.1f%% of "
                         "domain)  mass drift = %.2e\n",
-                        amr.stepCount(), amr.time(),
+                        scenario->stepCount(), scenario->time(),
                         static_cast<long long>(amr.numZones(1)),
                         100.0 * amr.coveredFraction(1),
                         std::abs(amr.totalMass() / m0 - 1.0));
@@ -80,7 +45,8 @@ int main(int argc, char** argv) {
                                       "rho_c12", "rho_mg24"};
     const auto bytes = writePlotfile(
         "amr_blast_plt", {&amr.state(0), &amr.state(1)},
-        {amr.geom(0), amr.geom(1)}, names, amr.time(), amr.stepCount());
+        {amr.geom(0), amr.geom(1)}, names, scenario->time(),
+        scenario->stepCount());
     std::printf("wrote amr_blast_plt/ (%lld bytes across 2 levels)\n",
                 static_cast<long long>(bytes));
     return 0;

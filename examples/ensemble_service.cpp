@@ -1,0 +1,82 @@
+// The ensemble service: many independent simulations multiplexed over
+// shared infrastructure in one process — the operating mode an exascale
+// allocation actually runs (parameter surveys, validation sweeps, UQ
+// campaigns), as opposed to one hero calculation.
+//
+// Builds a mixed fleet (Sedov blasts, reacting bubbles, AMR blasts, and a
+// WD collision) from the ScenarioRegistry, schedules them over a
+// work-stealing worker pool, and prints per-tenant accounting — exact
+// arena bytes, comm traffic, p50/p99 step latency — plus aggregate
+// throughput.
+//
+// Run:  ./ensemble_service [key=value ...]
+//       n=8          total simulations (mixed round-robin)
+//       workers=0    worker threads (0 = auto)
+//       steps=6      steps per simulation
+
+#include "ensemble/runner.hpp"
+#include "ensemble/scenarios.hpp"
+
+#include <cstdio>
+#include <string>
+
+using namespace exa;
+using namespace exa::ensemble;
+
+int main(int argc, char** argv) {
+    ScenarioConfig args = ScenarioConfig::fromArgs(argc, argv);
+    const int n = args.getInt("n", 8);
+    const int workers = args.getInt("workers", 0);
+    const int steps = args.getInt("steps", 6);
+    args.requireAllConsumed("ensemble_service");
+
+    CommLedger ledger;
+    EnsembleOptions opt;
+    opt.workers = workers;
+    opt.ledger = &ledger;
+    EnsembleRunner runner(opt);
+
+    // A mixed fleet: cycle through the registered scenario kinds, varying
+    // a physics knob per instance the way a parameter survey would.
+    const char* kinds[] = {"sedov", "bubble", "amr-blast", "wd-collision"};
+    for (int i = 0; i < n; ++i) {
+        const std::string kind = kinds[i % 4];
+        ScenarioConfig cfg;
+        cfg.set("max-steps", std::to_string(steps));
+        // Multi-box, multi-(emulated-)rank decompositions, so the shared
+        // ledger has real halo traffic to bucket per tenant.
+        cfg.set("nranks", "4");
+        if (kind == "sedov") {
+            cfg.set("ncell", "24");
+            cfg.set("max-grid-size", "12");
+            cfg.set("E", std::to_string(1.0 + 0.25 * (i / 4)));
+        } else if (kind == "bubble") {
+            cfg.set("ncell", "16");
+            cfg.set("max-grid-size", "8");
+            cfg.set("T-bubble", std::to_string(8.5e8 + 5.0e7 * (i / 4)));
+        } else if (kind == "amr-blast") {
+            cfg.set("ncell", "16");
+            cfg.set("max-grid-size", "8");
+        } else {
+            cfg.set("ncell", "16");
+            cfg.set("max-grid-size", "8");
+            cfg.set("network", "iso7");
+        }
+        runner.add(kind, cfg);
+    }
+
+    std::printf("ensemble service: %d tenants over the %s backend\n",
+                runner.numTenants(), backendName(ExecConfig::backend()));
+    EnsembleReport report = runner.run();
+    std::printf("%s", report.table().c_str());
+
+    // Per-tenant shared-infrastructure accounting.
+    std::printf("\nper-tenant traffic (shared ledger):\n");
+    for (const auto& t : report.tenants) {
+        std::printf("  %-18s %10lld bytes in %5lld messages\n",
+                    t.label.c_str(), static_cast<long long>(t.comm_bytes),
+                    static_cast<long long>(t.comm_messages));
+    }
+    std::printf("\n%s\n", report.tenants.front().summary.c_str());
+    return 0;
+}

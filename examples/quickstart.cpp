@@ -1,62 +1,68 @@
 // Quickstart: the ExaStro API in one page.
 //
-//   1. build a mesh (BoxArray + DistributionMapping + Geometry),
-//   2. pick physics (network + EOS) and a problem setup,
-//   3. advance with Castro-mini, switching execution backends the way the
-//      paper's single-source design intends: same code, same answers,
-//      different hardware mapping.
+//   1. describe a problem as key=value config (ScenarioConfig),
+//   2. build it by name from the ScenarioRegistry ("sedov" here),
+//   3. advance with the uniform Scenario interface, switching execution
+//      backends the way the paper's single-source design intends: same
+//      code, same answers, different hardware mapping.
 //
-// Run:  ./quickstart
+// Run:  ./quickstart [key=value ...]     e.g.  ./quickstart ncell=48
 
-#include "castro/sedov.hpp"
 #include "core/timer.hpp"
+#include "ensemble/scenarios.hpp"
 #include "perf/device_model.hpp"
 
 #include <cstdio>
 
 using namespace exa;
-using namespace exa::castro;
+using namespace exa::ensemble;
 
-int main() {
-    // A Sedov-Taylor blast on a 32^3 grid chopped into 16^3 boxes.
-    auto net = makeIgnitionSimple();
-    SedovParams params;
-    params.ncell = 32;
-    params.max_grid_size = 16;
-    params.nranks = 4; // simulated MPI ranks (one per GPU on Summit)
-    auto castro = makeSedov(params, net);
+int main(int argc, char** argv) {
+    // A Sedov-Taylor blast on a 32^3 grid chopped into 16^3 boxes. Any
+    // SedovParams field can be overridden from the command line.
+    ScenarioConfig cfg = ScenarioConfig::fromArgs(argc, argv);
+    if (!cfg.has("ncell")) cfg.set("ncell", "32");
+    if (!cfg.has("max-grid-size")) cfg.set("max-grid-size", "16");
+    if (!cfg.has("nranks")) cfg.set("nranks", "4"); // one rank per Summit GPU
+    if (!cfg.has("max-steps")) cfg.set("max-steps", "10");
+
+    auto scenario = makeScenarioByName("sedov", cfg);
+    scenario->init();
+    auto& sedov = dynamic_cast<SedovScenario&>(*scenario);
+    auto& castro = sedov.driver();
 
     std::printf("quickstart: %zu boxes, %lld zones, %d simulated ranks\n",
-                castro->state().size(),
-                static_cast<long long>(castro->state().boxArray().numPts()),
-                params.nranks);
+                castro.state().size(),
+                static_cast<long long>(scenario->zones()),
+                sedov.params().nranks);
 
     // --- CPU run (serial backend) ---------------------------------------
-    const Real mass0 = castro->totalMass();
-    const Real energy0 = castro->totalEnergy();
+    const Real mass0 = castro.totalMass();
+    const Real energy0 = castro.totalEnergy();
     WallTimer timer;
-    for (int step = 0; step < 10; ++step) {
-        const Real dt = castro->estimateDt();
-        castro->step(dt);
-        if (step % 5 == 0) {
+    while (!scenario->finished()) {
+        const Real dt = scenario->maxDt();
+        scenario->advanceOnce(dt);
+        if (scenario->stepCount() % 5 == 1) {
             std::printf("  step %2d  t = %.4e  dt = %.3e  max rho = %.3f\n",
-                        castro->stepCount(), castro->time(), dt,
-                        castro->maxDensity());
+                        scenario->stepCount(), scenario->time(), dt,
+                        castro.maxDensity());
         }
     }
     const double cpu_sec = timer.seconds();
     std::printf("serial backend: %.2f ms/step, conservation drift: mass %.2e, "
                 "energy %.2e\n",
                 100.0 * cpu_sec,
-                std::abs(castro->totalMass() / mass0 - 1.0),
-                std::abs(castro->totalEnergy() / energy0 - 1.0));
+                std::abs(castro.totalMass() / mass0 - 1.0),
+                std::abs(castro.totalEnergy() / energy0 - 1.0));
 
     // --- Simulated-GPU run: identical arithmetic, modeled V100 clock -----
-    auto castro2 = makeSedov(params, net);
+    auto scenario2 = makeScenarioByName("sedov", cfg);
     ScopedBackend gpu(Backend::SimGpu);
     DeviceModel device; // the V100 model
     device.attach();
-    for (int step = 0; step < 10; ++step) castro2->step(castro2->estimateDt());
+    scenario2->init();
+    while (!scenario2->finished()) scenario2->advanceOnce();
     device.detach();
 
     std::printf("simgpu backend: %lld kernel launches, modeled V100 time "
@@ -65,6 +71,6 @@ int main() {
                 device.elapsedSeconds() * 1e3,
                 device.numZones() / (device.elapsedSeconds() * 1e6));
     std::printf("bit-identical states: %s\n",
-                castro->totalEnergy() == castro2->totalEnergy() ? "yes" : "NO");
+                scenario->stateCrc() == scenario2->stateCrc() ? "yes" : "NO");
     return 0;
 }

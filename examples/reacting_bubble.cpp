@@ -3,50 +3,57 @@
 // burning and rises buoyantly. Demonstrates the low Mach number solver:
 // note the timestep — orders of magnitude beyond the compressible CFL.
 //
-// Run:  ./reacting_bubble [ncell] [nsteps]
+// Run:  ./reacting_bubble [key=value ...]
+//       e.g.  ./reacting_bubble ncell=24 max-steps=20
 
-#include "maestro/maestro.hpp"
+#include "ensemble/scenarios.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
 using namespace exa;
-using namespace exa::maestro;
+using namespace exa::ensemble;
 
 int main(int argc, char** argv) {
-    const int ncell = argc > 1 ? std::atoi(argv[1]) : 16;
-    const int nsteps = argc > 2 ? std::atoi(argv[2]) : 15;
+    ScenarioConfig cfg = ScenarioConfig::fromArgs(argc, argv);
+    if (!cfg.has("ncell")) cfg.set("ncell", "16");
+    if (!cfg.has("max-grid-size")) {
+        const int ncell = cfg.getInt("ncell", 16);
+        cfg.set("max-grid-size", std::to_string(std::max(8, ncell / 2)));
+    }
+    if (!cfg.has("max-steps")) cfg.set("max-steps", "15");
+    if (!cfg.has("max-dt")) cfg.set("max-dt", "5.0e-4");
 
-    auto net = makeIgnitionSimple(); // the paper's N = 2 reacting nuclei
-    BubbleParams p;
-    p.ncell = ncell;
-    p.max_grid_size = std::max(8, ncell / 2);
-    p.T_bubble = 9.0e8;
-    auto m = makeReactingBubble(p, net);
+    auto scenario = makeScenarioByName("bubble", cfg);
+    scenario->init();
+    auto& bubble = dynamic_cast<BubbleScenario&>(*scenario);
+    maestro::Maestro& m = bubble.driver();
+    const int ncell = bubble.params().ncell;
+    const int nsteps = scenario->limits().max_steps;
 
-    const Real dx = m->geom().cellSize(0);
+    const Real dx = m.geom().cellSize(0);
     std::printf("reacting bubble: %d^3, dx = %.3g cm, base rho = %.3g g/cc\n",
-                ncell, dx, p.rho_base);
+                ncell, dx, bubble.params().rho_base);
     std::printf("compressible CFL dt would be ~%.2e s; low Mach dt: %.2e s\n",
-                dx / 1.0e9, m->estimateDt());
+                dx / 1.0e9, m.estimateDt());
 
     std::printf("%6s %12s %14s %14s %12s %10s\n", "step", "t [s]", "maxT [K]",
                 "height [cm]", "max|divU|", "vcycles");
-    for (int s = 0; s < nsteps; ++s) {
-        const Real dt = std::min(m->estimateDt(), 5.0e-4);
-        auto burn = m->step(dt);
-        (void)burn;
-        if (s % 3 == 0 || s == nsteps - 1) {
-            std::printf("%6d %12.4e %14.5e %14.5e %12.3e %10d\n", m->stepCount(),
-                        m->time(), m->maxTemperature(), m->bubbleHeight(),
-                        m->maxAbsDivergence(), m->lastProjectionVcycles());
+    while (!scenario->finished()) {
+        scenario->advanceOnce();
+        const int s = scenario->stepCount();
+        if (s % 3 == 1 || s == nsteps) {
+            std::printf("%6d %12.4e %14.5e %14.5e %12.3e %10d\n", s,
+                        scenario->time(), m.maxTemperature(), m.bubbleHeight(),
+                        m.maxAbsDivergence(), m.lastProjectionVcycles());
         }
     }
 
     // Vertical temperature-perturbation profile (bubble position).
     std::FILE* f = std::fopen("bubble_profile.csv", "w");
     std::fprintf(f, "z,dT_max\n");
-    const auto& st = m->state();
+    const auto& st = m.state();
     for (int k = 0; k < ncell; ++k) {
         Real dTmax = 0.0;
         for (std::size_t b = 0; b < st.size(); ++b) {
@@ -56,10 +63,11 @@ int main(int argc, char** argv) {
             for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j)
                 for (int i = vb.smallEnd(0); i <= vb.bigEnd(0); ++i) {
                     dTmax = std::max(dTmax,
-                                     q(i, j, k, MaestroLayout::QT) - m->base().T0(k));
+                                     q(i, j, k, maestro::MaestroLayout::QT) -
+                                         m.base().T0(k));
                 }
         }
-        std::fprintf(f, "%.6e,%.6e\n", m->geom().cellCenter(2, k), dTmax);
+        std::fprintf(f, "%.6e,%.6e\n", m.geom().cellCenter(2, k), dTmax);
     }
     std::fclose(f);
     std::printf("wrote bubble_profile.csv\n");

@@ -2,66 +2,76 @@
 // contact point heats until carbon ignites. A scaled-down version of the
 // paper's Figure 4 run with the 13-isotope network.
 //
-// Run:  ./wd_collision [ncell] [network]
+// Run:  ./wd_collision [key=value ...]
+//       e.g.  ./wd_collision ncell=24 network=iso7
 //
 // `network` is any name in the NetworkRegistry (aprox13 by default; try
 // iso7 for the cheap reduced chain or aprox19 for the full 19-isotope
 // set). Prints the approach, contact, and heating history; writes an
 // x-axis line-out of density and temperature at the end (wd_lineout.csv).
 
-#include "castro/wd_collision.hpp"
+#include "ensemble/scenarios.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
+#include <string>
 
 using namespace exa;
 using namespace exa::castro;
+using namespace exa::ensemble;
 
 int main(int argc, char** argv) {
-    const int ncell = argc > 1 ? std::atoi(argv[1]) : 24;
-
-    WdCollisionParams p;
-    p.ncell = ncell;
-    p.max_grid_size = std::max(8, ncell / 2);
-    p.rho_c = 5.0e6;
-    p.domain_width = 8.0e9;
-    p.separation_in_diameters = 1.3;
-    p.approach_velocity = 4.0e8;
-    if (argc > 2) p.network = argv[2];
-    WdCollision wd;
+    std::unique_ptr<Scenario> scenario;
     try {
-        wd = makeWdCollision(p);
+        ScenarioConfig cfg = ScenarioConfig::fromArgs(argc, argv);
+        if (!cfg.has("ncell")) cfg.set("ncell", "24");
+        if (!cfg.has("max-grid-size")) {
+            const int ncell = cfg.getInt("ncell", 24);
+            cfg.set("max-grid-size", std::to_string(std::max(8, ncell / 2)));
+        }
+        if (!cfg.has("rho-c")) cfg.set("rho-c", "5.0e6");
+        if (!cfg.has("domain-width")) cfg.set("domain-width", "8.0e9");
+        if (!cfg.has("separation")) cfg.set("separation", "1.3");
+        if (!cfg.has("approach-velocity")) cfg.set("approach-velocity", "4.0e8");
+        if (!cfg.has("t-stop")) cfg.set("t-stop", "10.0");
+        if (!cfg.has("max-steps")) cfg.set("max-steps", "400");
+        scenario = makeScenarioByName("wd-collision", cfg);
+        scenario->init(); // builds the stars (and the network, by name)
     } catch (const std::exception& e) {
         std::fprintf(stderr, "wd_collision: %s\n", e.what());
         return 1;
     }
+    auto& wds = dynamic_cast<WdCollisionScenario&>(*scenario);
+    WdCollision& wd = wds.collision();
+    const WdCollisionParams& p = wds.params();
+    const int ncell = p.ncell;
 
     std::printf("WD collision: R = %.3g cm (%.0f km), M = %.2f Msun each, "
                 "%d^3 zones (dx = %.0f km), network %s\n",
                 wd.profile.radius, wd.profile.radius / 1.0e5,
                 wd.profile.mass / constants::M_sun, ncell,
-                p.domain_width / ncell / 1.0e5, wd.network->name().c_str());
+                p.domain_width / ncell / 1.0e5,
+                wd.castro->network().name().c_str());
     std::printf("%6s %10s %14s %14s %16s\n", "step", "t [s]", "maxT [K]",
                 "max rho", "t_burn/t_cross");
 
     int next_report = 0;
-    while (wd.castro->time() < 10.0 && wd.castro->stepCount() < 400) {
-        if (wd.castro->maxTemperature() >= p.ignition_T) break;
-        wd.castro->step(wd.castro->estimateDt());
-        if (wd.castro->stepCount() >= next_report) {
+    while (!scenario->finished()) {
+        scenario->advanceOnce();
+        if (scenario->stepCount() >= next_report) {
             std::printf("%6d %10.3f %14.4e %14.4e %16.3g\n",
-                        wd.castro->stepCount(), wd.castro->time(),
+                        scenario->stepCount(), scenario->time(),
                         wd.castro->maxTemperature(), wd.castro->maxDensity(),
                         wd.castro->minBurnTimescaleRatio(1.0e9));
             next_report += 20;
         }
     }
 
-    if (wd.castro->maxTemperature() >= p.ignition_T) {
+    if (wds.ignited()) {
         std::printf("\n*** thermonuclear ignition at t = %.3f s (T >= %.1e K) "
                     "***\n",
-                    wd.castro->time(), p.ignition_T);
+                    scenario->time(), p.ignition_T);
         auto hz = wd.castro->hottestZone();
         std::printf("ignition site: (%.3g, %.3g, %.3g) cm — the contact plane\n",
                     hz[0], hz[1], hz[2]);
@@ -71,7 +81,7 @@ int main(int argc, char** argv) {
                     wd.castro->minBurnTimescaleRatio(1.0e9));
     } else {
         std::printf("\nno ignition before t = %.2f s at this resolution\n",
-                    wd.castro->time());
+                    scenario->time());
     }
 
     // x-axis line-out through the collision axis.

@@ -4,7 +4,8 @@
 
 namespace exa::castro {
 
-std::unique_ptr<Castro> makeSedov(const SedovParams& p, const ReactionNetwork& net) {
+std::unique_ptr<Castro> SedovParams::build(const ReactionNetwork& net) const {
+    const SedovParams& p = *this;
     Box domain({0, 0, 0}, {p.ncell - 1, p.ncell - 1, p.ncell - 1});
     Geometry geom(domain, {0, 0, 0}, {1, 1, 1});
     BoxArray ba(domain);

@@ -10,6 +10,10 @@ namespace exa::castro {
 // small region of a cold uniform medium drives a self-similar spherical
 // shock, R(t) = (E t^2 / (alpha rho0))^(1/5). The standard performance
 // benchmark for Castro-class codes.
+//
+// The params struct IS the problem config: build() is the canonical
+// entry point, and the ensemble layer's ScenarioRegistry constructs
+// these by name ("sedov") from a generic key=value ScenarioConfig.
 struct SedovParams {
     int ncell = 32;          // zones per dimension
     int max_grid_size = 16;  // box chop
@@ -22,10 +26,17 @@ struct SedovParams {
     Real cfl = 0.4;
     StepGuardOptions guard;  // step retry (off by default)
     RebalanceOptions rebalance; // cost-driven load balancing (off by default)
+
+    // Build a gamma-law Castro instance initialized with the blast.
+    std::unique_ptr<Castro> build(const ReactionNetwork& net) const;
 };
 
-// Build a gamma-law Castro instance initialized with the blast.
-std::unique_ptr<Castro> makeSedov(const SedovParams& p, const ReactionNetwork& net);
+[[deprecated("use SedovParams::build(net), or the ensemble ScenarioRegistry "
+             "(\"sedov\") for config-driven construction")]]
+inline std::unique_ptr<Castro> makeSedov(const SedovParams& p,
+                                         const ReactionNetwork& net) {
+    return p.build(net);
+}
 
 // Self-similar shock radius R(t) = (E t^2 / (alpha rho0))^(1/5) with the
 // standard alpha(gamma = 1.4) = 0.851 similarity constant.

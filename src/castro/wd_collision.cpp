@@ -85,7 +85,8 @@ WdProfile buildWdProfile(const Eos& eos, const ReactionNetwork& net, Real rho_c,
     return prof;
 }
 
-WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& net) {
+WdCollision WdCollisionParams::build(const ReactionNetwork& net) const {
+    const WdCollisionParams& p = *this;
     WdCollision out;
     out.params = p;
 
@@ -160,9 +161,9 @@ WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& n
     return out;
 }
 
-WdCollision makeWdCollision(const WdCollisionParams& p) {
-    auto net = std::make_unique<ReactionNetwork>(makeNetworkByName(p.network));
-    WdCollision out = makeWdCollision(p, *net);
+WdCollision WdCollisionParams::build() const {
+    auto net = std::make_unique<ReactionNetwork>(makeNetworkByName(network));
+    WdCollision out = build(*net);
     out.network = std::move(net);
     return out;
 }

@@ -46,9 +46,18 @@ struct WdCollisionParams {
     bool do_react = true;
     Real ignition_T = 4.0e9; // the paper's detonation-imminent threshold
     // Reaction network, selected by registry name (the paper's run uses
-    // the 13-isotope alpha chain). Used by the by-name factory overload;
+    // the 13-isotope alpha chain). Used by the by-name build() overload;
     // ignored when a network object is passed explicitly.
     std::string network = "aprox13";
+
+    // Canonical entry points (the ensemble ScenarioRegistry constructs
+    // these by name "wd-collision" from a generic ScenarioConfig).
+    // build(net) uses the caller's network; build() constructs the
+    // network from the registry by `network` — any registered name is a
+    // valid WD-collision scenario (unknown names throw, listing the
+    // registry) — and the returned WdCollision owns it.
+    struct WdCollision build(const ReactionNetwork& net) const;
+    struct WdCollision build() const;
 };
 
 struct WdCollision {
@@ -65,11 +74,19 @@ struct WdCollision {
     Real runToIgnition(Real t_max, int max_steps = 100000);
 };
 
-WdCollision makeWdCollision(const WdCollisionParams& p, const ReactionNetwork& net);
+[[deprecated("use WdCollisionParams::build(net), or the ensemble "
+             "ScenarioRegistry (\"wd-collision\") for config-driven "
+             "construction")]]
+inline WdCollision makeWdCollision(const WdCollisionParams& p,
+                                   const ReactionNetwork& net) {
+    return p.build(net);
+}
 
-// Build the network from the registry by p.network — any registered name
-// is a valid WD-collision scenario (unknown names throw, listing the
-// registry). The returned WdCollision owns the network.
-WdCollision makeWdCollision(const WdCollisionParams& p);
+[[deprecated("use WdCollisionParams::build(), or the ensemble "
+             "ScenarioRegistry (\"wd-collision\") for config-driven "
+             "construction")]]
+inline WdCollision makeWdCollision(const WdCollisionParams& p) {
+    return p.build();
+}
 
 } // namespace exa::castro

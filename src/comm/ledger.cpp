@@ -4,6 +4,18 @@
 
 namespace exa {
 
+namespace {
+// Thread-local so ensemble workers each carry their own tenant tag; a
+// worker that steals tenant A's step tags A's records no matter which
+// ledger is attached.
+thread_local std::string t_ledger_tenant;
+} // namespace
+
+const std::string& CommLedger::currentTenant() { return t_ledger_tenant; }
+void CommLedger::setCurrentTenant(std::string tenant) {
+    t_ledger_tenant = std::move(tenant);
+}
+
 void CommLedger::attach() {
     CommHooks::setMessageHook([this](const MessageRecord& r) { record(r); });
     CommHooks::setHaloHook([this](const HaloEvent& e) { recordHalo(e); });
@@ -25,12 +37,18 @@ void CommLedger::detach() {
 }
 
 void CommLedger::record(const MessageRecord& r) {
+    std::lock_guard<std::mutex> lk(m_mutex);
     auto& e = m_edges[{r.src_rank, r.dst_rank}];
     e.bytes += r.bytes;
     ++e.msgs;
     m_total_bytes += r.bytes;
     ++m_total_msgs;
     m_tag_bytes[r.tag] += r.bytes;
+    if (!t_ledger_tenant.empty()) {
+        auto& t = m_tenants[t_ledger_tenant];
+        t.bytes += r.bytes;
+        ++t.msgs;
+    }
     // finish() delivers its MessageRecords before it fires the Finished
     // event, so messages belonging to a split-phase exchange arrive while
     // that exchange is still counted in flight.
@@ -38,6 +56,7 @@ void CommLedger::record(const MessageRecord& r) {
 }
 
 void CommLedger::recordHalo(const HaloEvent& e) {
+    std::lock_guard<std::mutex> lk(m_mutex);
     if (e.phase == HaloPhase::Posted) {
         ++m_halos_posted;
         ++m_halos_in_flight;
@@ -48,6 +67,7 @@ void CommLedger::recordHalo(const HaloEvent& e) {
 }
 
 void CommLedger::recordRebalance(const RebalanceEvent& e) {
+    std::lock_guard<std::mutex> lk(m_mutex);
     ++m_rebalances;
     m_migration_bytes += e.bytes;
     m_migration_boxes += e.boxes_moved;
@@ -62,8 +82,10 @@ void CommLedger::recordResilience(const ResilienceEvent& e) {
 }
 
 void CommLedger::reset() {
+    std::lock_guard<std::mutex> lk(m_mutex);
     m_edges.clear();
     m_tag_bytes.clear();
+    m_tenants.clear();
     m_total_bytes = 0;
     m_total_msgs = 0;
     m_halos_posted = 0;
@@ -80,12 +102,73 @@ void CommLedger::reset() {
     m_recovery_bytes.store(0);
 }
 
+std::int64_t CommLedger::totalBytes() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_total_bytes;
+}
+
+std::int64_t CommLedger::totalMessages() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_total_msgs;
+}
+
 std::int64_t CommLedger::bytesWithTag(const std::string& tag) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
     auto it = m_tag_bytes.find(tag);
     return it == m_tag_bytes.end() ? 0 : it->second;
 }
 
+std::int64_t CommLedger::tenantBytes(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_tenants.find(tenant);
+    return it == m_tenants.end() ? 0 : it->second.bytes;
+}
+
+std::int64_t CommLedger::tenantMessages(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_tenants.find(tenant);
+    return it == m_tenants.end() ? 0 : it->second.msgs;
+}
+
+std::vector<std::string> CommLedger::tenantNames() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::vector<std::string> names;
+    names.reserve(m_tenants.size());
+    for (const auto& [name, t] : m_tenants) names.push_back(name);
+    return names;
+}
+
+std::int64_t CommLedger::halosPosted() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_halos_posted;
+}
+std::int64_t CommLedger::halosInFlight() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_halos_in_flight;
+}
+std::int64_t CommLedger::maxHalosInFlight() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_max_halos_in_flight;
+}
+std::int64_t CommLedger::splitPhaseMessages() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_split_phase_msgs;
+}
+std::int64_t CommLedger::rebalancesPerformed() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_rebalances;
+}
+std::int64_t CommLedger::migrationBytes() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_migration_bytes;
+}
+std::int64_t CommLedger::migrationBoxesMoved() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_migration_boxes;
+}
+
 std::int64_t CommLedger::offNodeBytes(const RankLayout& layout) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
     std::int64_t b = 0;
     for (const auto& [key, e] : m_edges) {
         if (!layout.sameNode(key.first, key.second)) b += e.bytes;
@@ -94,6 +177,7 @@ std::int64_t CommLedger::offNodeBytes(const RankLayout& layout) const {
 }
 
 double CommLedger::phaseTime(const RankLayout& layout, const NetworkModel& net) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
     // Serialized per-rank cost: each rank pays for its sends and receives.
     std::vector<double> rank_time(layout.numRanks(), 0.0);
     for (const auto& [key, e] : m_edges) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,17 @@ namespace exa {
 // bulk-synchronous: within one communication phase every rank sends and
 // receives concurrently, so phase time = max over ranks of that rank's
 // serialized send+recv cost.
+//
+// Instance-based with per-tenant scoping: a ledger is an ordinary object
+// (attach() binds it as the process-wide message sink — the retained
+// global default path, unchanged for existing call sites). When one
+// process multiplexes many simulations, the scheduler brackets each
+// tenant's work with ScopedLedgerTenant; records arriving inside the
+// scope are additionally bucketed under that tenant's tag, so one shared
+// ledger can answer "whose bytes were these?" per tenant. The tenant tag
+// is thread-local (workers carry their tenant through steals) and every
+// record/read path takes the ledger mutex, so counters are exact under a
+// multi-threaded scheduler.
 class CommLedger {
 public:
     // Attach this ledger as the process-wide message sink. Only one ledger
@@ -31,33 +43,44 @@ public:
     void recordResilience(const ResilienceEvent& e);
     void reset();
 
-    std::int64_t totalBytes() const { return m_total_bytes; }
-    std::int64_t totalMessages() const { return m_total_msgs; }
+    std::int64_t totalBytes() const;
+    std::int64_t totalMessages() const;
     std::int64_t bytesWithTag(const std::string& tag) const;
+
+    // --- per-tenant scoping ------------------------------------------------
+    // The calling thread's current tenant tag ("" = untagged; not
+    // bucketed). Set via ScopedLedgerTenant, below.
+    static const std::string& currentTenant();
+    static void setCurrentTenant(std::string tenant);
+
+    // Traffic recorded while a tenant scope was active on the recording
+    // thread. Unknown tenants read as zero.
+    std::int64_t tenantBytes(const std::string& tenant) const;
+    std::int64_t tenantMessages(const std::string& tenant) const;
+    std::vector<std::string> tenantNames() const;
 
     // Split-phase exchange tracking (HaloEvent hook): how many handles
     // were posted, how many are currently between post and finish, the
     // high-water mark of concurrent in-flight exchanges, and how many
     // MessageRecords were delivered by a finish() (i.e. overlapped with
     // interior compute rather than blocking the step).
-    std::int64_t halosPosted() const { return m_halos_posted; }
-    std::int64_t halosInFlight() const { return m_halos_in_flight; }
-    std::int64_t maxHalosInFlight() const { return m_max_halos_in_flight; }
-    std::int64_t splitPhaseMessages() const { return m_split_phase_msgs; }
+    std::int64_t halosPosted() const;
+    std::int64_t halosInFlight() const;
+    std::int64_t maxHalosInFlight() const;
+    std::int64_t splitPhaseMessages() const;
 
     // Load-balancing traffic (RebalanceEvent hook): how many live-state
     // migrations the Rebalancer performed and the off-rank payload they
     // moved. The same bytes also appear in bytesWithTag("rebalance") via
     // the per-message records; the event-level counters survive even when
     // a caller filters tags.
-    std::int64_t rebalancesPerformed() const { return m_rebalances; }
-    std::int64_t migrationBytes() const { return m_migration_bytes; }
-    std::int64_t migrationBoxesMoved() const { return m_migration_boxes; }
+    std::int64_t rebalancesPerformed() const;
+    std::int64_t migrationBytes() const;
+    std::int64_t migrationBoxesMoved() const;
 
     // Resilience accounting (ResilienceEvent hook). Checkpoint commits
     // fire on the async checkpointer's drain thread, so these counters are
-    // atomic — every other ledger counter is touched only from the main
-    // thread.
+    // atomic — they predate the ledger mutex and stay lock-free.
     std::int64_t checkpointsWritten() const { return m_checkpoints.load(); }
     std::int64_t checkpointBytes() const { return m_checkpoint_bytes.load(); }
     std::int64_t ranksRecovered() const { return m_ranks_recovered.load(); }
@@ -76,8 +99,10 @@ private:
         std::int64_t bytes = 0;
         std::int64_t msgs = 0;
     };
+    mutable std::mutex m_mutex;
     std::map<std::pair<int, int>, Edge> m_edges; // (src,dst) -> totals
     std::map<std::string, std::int64_t> m_tag_bytes;
+    std::map<std::string, Edge> m_tenants; // tenant tag -> totals
     std::int64_t m_total_bytes = 0;
     std::int64_t m_total_msgs = 0;
     std::int64_t m_halos_posted = 0;
@@ -93,6 +118,23 @@ private:
     std::atomic<std::int64_t> m_replay_steps{0};
     std::atomic<std::int64_t> m_recovery_bytes{0};
     bool m_attached = false;
+};
+
+// RAII tenant tag for ledger records made by this thread: the scheduler
+// brackets each tenant's step so one shared attached ledger buckets
+// traffic per simulation. Nests; restores the previous tag on exit.
+class ScopedLedgerTenant {
+public:
+    explicit ScopedLedgerTenant(std::string tenant)
+        : m_saved(CommLedger::currentTenant()) {
+        CommLedger::setCurrentTenant(std::move(tenant));
+    }
+    ~ScopedLedgerTenant() { CommLedger::setCurrentTenant(std::move(m_saved)); }
+    ScopedLedgerTenant(const ScopedLedgerTenant&) = delete;
+    ScopedLedgerTenant& operator=(const ScopedLedgerTenant&) = delete;
+
+private:
+    std::string m_saved;
 };
 
 } // namespace exa

@@ -55,6 +55,20 @@ void forEachLiveArenaBlock(const std::function<void(void*, std::size_t)>& cb) {
     for (const Arena* a : registry()) a->forEachLive(cb);
 }
 
+// --- Per-tenant accounting -----------------------------------------------
+
+namespace {
+thread_local int t_arena_tenant = -1;
+}
+
+int currentArenaTenant() { return t_arena_tenant; }
+
+ArenaTenantScope::ArenaTenantScope(int tenant) : m_saved(t_arena_tenant) {
+    t_arena_tenant = tenant;
+}
+
+ArenaTenantScope::~ArenaTenantScope() { t_arena_tenant = m_saved; }
+
 void* MallocArena::allocate(std::size_t bytes) {
     // Injection site: a failed device allocation mid-step. Thrown (not
     // returned as nullptr) so callers exercise their unwind paths the way
@@ -133,9 +147,17 @@ void* PoolArena::allocate(std::size_t bytes) {
         ++m_stats.slow_allocs;
         m_stats.bytes_reserved += cls;
     }
-    m_live[p] = cls;
+    const int tenant = t_arena_tenant;
+    m_live[p] = LiveBlock{cls, tenant};
     m_stats.bytes_in_use += cls;
     m_stats.hwm_bytes = std::max(m_stats.hwm_bytes, m_stats.bytes_in_use);
+    if (tenant >= 0) {
+        auto& ts = m_tenants[tenant];
+        ++ts.allocs;
+        ts.bytes_allocated += cls;
+        ts.bytes_in_use += cls;
+        ts.peak_bytes = std::max(ts.peak_bytes, ts.bytes_in_use);
+    }
     return p;
 }
 
@@ -148,10 +170,40 @@ void PoolArena::deallocate(void* p) {
         return;
     }
     ++m_stats.frees;
-    const std::size_t cls = it->second;
+    const LiveBlock b = it->second;
     m_live.erase(it);
-    m_stats.bytes_in_use -= cls;
-    m_free[cls].push_back(p);
+    m_stats.bytes_in_use -= b.cls;
+    // Credit the recorded owner, not the calling thread's tenant: under a
+    // work-stealing scheduler the free may run on any worker, or after
+    // the tenant's scope has ended.
+    if (b.tenant >= 0) {
+        auto& ts = m_tenants[b.tenant];
+        ++ts.frees;
+        ts.bytes_in_use -= b.cls;
+    }
+    m_free[b.cls].push_back(p);
+}
+
+TenantArenaStats PoolArena::tenantStats(int tenant) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_tenants.find(tenant);
+    return it == m_tenants.end() ? TenantArenaStats{} : it->second;
+}
+
+std::vector<int> PoolArena::tenantIds() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    std::vector<int> out;
+    out.reserve(m_tenants.size());
+    for (const auto& [id, ts] : m_tenants) out.push_back(id);
+    return out;
+}
+
+void PoolArena::resetTenantStats() {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_tenants.clear();
+    // Blocks still live keep their owner tag; their eventual frees must
+    // not underflow a cleared counter, so detach them from any tenant.
+    for (auto& [p, b] : m_live) b.tenant = -1;
 }
 
 void PoolArena::releaseCached() {
@@ -167,7 +219,7 @@ void PoolArena::releaseCached() {
 
 void PoolArena::forEachLive(const std::function<void(void*, std::size_t)>& cb) const {
     std::lock_guard<std::mutex> lk(m_mutex);
-    for (const auto& [p, cls] : m_live) cb(p, cls);
+    for (const auto& [p, b] : m_live) cb(p, b.cls);
 }
 
 // --- GuardArena ----------------------------------------------------------

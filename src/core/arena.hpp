@@ -71,6 +71,43 @@ protected:
 // The callback must not allocate from or free into any arena.
 void forEachLiveArenaBlock(const std::function<void(void*, std::size_t)>& cb);
 
+// --- Per-tenant accounting (ensemble service mode) -----------------------
+//
+// When one process multiplexes many simulations over a shared PoolArena,
+// per-tenant byte/peak attribution needs two things the plain ArenaStats
+// cannot give: a notion of *who* is allocating (a thread-local tenant id,
+// set by the scheduler around each tenant's work), and exactness under a
+// work-stealing scheduler — a block allocated while tenant A's step ran
+// on worker 1 may be freed while A runs on worker 2, or after the run
+// with no tenant scope active at all, so frees must be credited to the
+// block's recorded owner, never to whoever happens to be running.
+
+struct TenantArenaStats {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t bytes_allocated = 0; // cumulative bytes handed out
+    std::uint64_t bytes_in_use = 0;    // currently handed out
+    std::uint64_t peak_bytes = 0;      // high-water mark of bytes_in_use
+};
+
+// The calling thread's current arena tenant (-1 = untagged). Thread-local:
+// ensemble workers each carry their own tenant through steals.
+int currentArenaTenant();
+
+// RAII tenant tag: allocations made by this thread inside the scope are
+// attributed to `tenant` by tenant-aware arenas (PoolArena). Nests; the
+// previous tenant is restored on exit.
+class ArenaTenantScope {
+public:
+    explicit ArenaTenantScope(int tenant);
+    ~ArenaTenantScope();
+    ArenaTenantScope(const ArenaTenantScope&) = delete;
+    ArenaTenantScope& operator=(const ArenaTenantScope&) = delete;
+
+private:
+    int m_saved;
+};
+
 // Pass-through arena: every allocate() is a fresh call to the system
 // allocator. This models the pre-optimization behaviour in which every
 // per-timestep temporary triggered a cudaMalloc.
@@ -104,10 +141,25 @@ public:
     // shift overflow.
     std::size_t sizeClass(std::size_t bytes) const;
 
+    // Per-tenant accounting (see ArenaTenantScope). Counters are in size-
+    // class bytes — the same currency as ArenaStats::bytes_in_use — and
+    // are updated under the arena mutex, so they are exact under any
+    // thread interleaving: an allocation records its owner, and the free
+    // is credited to that owner regardless of which thread (or tenant
+    // scope) performs it. Stats for a tenant id never seen are all-zero.
+    TenantArenaStats tenantStats(int tenant) const;
+    std::vector<int> tenantIds() const;
+    void resetTenantStats();
+
 private:
+    struct LiveBlock {
+        std::size_t cls = 0; // size class (bytes)
+        int tenant = -1;     // owner at allocation time (-1 = untagged)
+    };
     std::size_t m_min_block;
     std::map<std::size_t, std::vector<void*>> m_free; // size class -> blocks
-    std::map<void*, std::size_t> m_live;              // block -> size class
+    std::map<void*, LiveBlock> m_live;                // block -> class + owner
+    std::map<int, TenantArenaStats> m_tenants;
 };
 
 // Per-GuardArena diagnostic counters, beyond the common ArenaStats.

@@ -101,7 +101,9 @@ private:
     static IntVect s_tile_size;
     static LaunchHook s_hook;
     static int s_num_streams;
-    static int s_current_stream;
+    // Thread-local: ensemble workers each select a stream for their tenant
+    // (StreamScope) and must not race on — or clobber — each other's slot.
+    static thread_local int s_current_stream;
 };
 
 // Exception-safe stream selection: captures the current stream on entry

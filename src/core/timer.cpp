@@ -10,9 +10,25 @@ TimerRegistry& TimerRegistry::instance() {
     return reg;
 }
 
+namespace {
+thread_local TimerRegistry* t_current_registry = nullptr;
+}
+
+TimerRegistry& TimerRegistry::current() {
+    return t_current_registry != nullptr ? *t_current_registry : instance();
+}
+
+ScopedTimerRegistry::ScopedTimerRegistry(TimerRegistry* reg)
+    : m_saved(t_current_registry) {
+    t_current_registry = reg;
+}
+
+ScopedTimerRegistry::~ScopedTimerRegistry() { t_current_registry = m_saved; }
+
 std::string TimerRegistry::report() const {
     std::lock_guard<std::mutex> lk(m_mutex);
     std::ostringstream os;
+    if (!m_tag.empty()) os << "[" << m_tag << "]\n";
     os << std::left << std::setw(32) << "region" << std::right << std::setw(14)
        << "seconds" << std::setw(10) << "calls" << '\n';
     for (const auto& [name, e] : m_entries) {

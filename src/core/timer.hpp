@@ -28,11 +28,28 @@ private:
 // and call counts. This is how the benches split, e.g., multigrid time
 // from nuclear-burning time (the Fig. 3 discussion).
 //
+// Instance-based: the registry a TimerRegion records into is
+// TimerRegistry::current() — by default the process-global instance()
+// (existing call sites compile and behave unchanged), but a scheduler
+// that multiplexes many simulations in one process can scope a tagged
+// per-tenant registry around each tenant's work with ScopedTimerRegistry,
+// so tenants' timings no longer mix in one shared map. The override is
+// thread-local: ensemble workers carry their tenant's registry with them.
+//
 // Thread-safe: TimerRegion is used inside OpenMP-backend regions, so every
 // access to the entry map takes the registry mutex.
 class TimerRegistry {
 public:
+    explicit TimerRegistry(std::string tag = "") : m_tag(std::move(tag)) {}
+
+    // The process-global default registry (tag "").
     static TimerRegistry& instance();
+    // The calling thread's active registry: the innermost
+    // ScopedTimerRegistry override, or instance() when none is in scope.
+    static TimerRegistry& current();
+
+    // The per-tenant tag this registry reports under ("" = untagged).
+    const std::string& tag() const { return m_tag; }
 
     void add(const std::string& name, double seconds) {
         std::lock_guard<std::mutex> lk(m_mutex);
@@ -64,20 +81,38 @@ private:
         double seconds = 0.0;
         std::uint64_t calls = 0;
     };
+    std::string m_tag;
     mutable std::mutex m_mutex;
     std::map<std::string, Entry> m_entries;
 };
 
-// RAII region timer: accumulates elapsed wall time into the registry.
+// RAII thread-local registry override: TimerRegions constructed on this
+// thread inside the scope record into `reg` instead of instance().
+class ScopedTimerRegistry {
+public:
+    explicit ScopedTimerRegistry(TimerRegistry* reg);
+    ~ScopedTimerRegistry();
+    ScopedTimerRegistry(const ScopedTimerRegistry&) = delete;
+    ScopedTimerRegistry& operator=(const ScopedTimerRegistry&) = delete;
+
+private:
+    TimerRegistry* m_saved;
+};
+
+// RAII region timer: accumulates elapsed wall time into the registry that
+// was current() when the region was entered — a region spanning a scope
+// change still lands where it started.
 class TimerRegion {
 public:
-    explicit TimerRegion(std::string name) : m_name(std::move(name)) {}
-    ~TimerRegion() { TimerRegistry::instance().add(m_name, m_timer.seconds()); }
+    explicit TimerRegion(std::string name)
+        : m_name(std::move(name)), m_registry(&TimerRegistry::current()) {}
+    ~TimerRegion() { m_registry->add(m_name, m_timer.seconds()); }
     TimerRegion(const TimerRegion&) = delete;
     TimerRegion& operator=(const TimerRegion&) = delete;
 
 private:
     std::string m_name;
+    TimerRegistry* m_registry;
     WallTimer m_timer;
 };
 

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "ensemble/scenario.hpp"
+#include "ensemble/scenario_config.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace exa::ensemble {
+
+// Name -> scenario factory, mirroring the NetworkRegistry idiom: drivers,
+// examples, tests, and the EnsembleRunner select a problem by string from
+// a generic ScenarioConfig, with no recompilation — every registered
+// scenario is an instant ensemble tenant kind. The built-in scenarios
+// ("sedov", "bubble", "amr-blast", "wd-collision") are pre-registered.
+class ScenarioRegistry {
+public:
+    using Factory =
+        std::function<std::unique_ptr<Scenario>(const ScenarioConfig&)>;
+
+    static ScenarioRegistry& instance();
+
+    // Register (or replace) a factory under `name`.
+    void add(const std::string& name, Factory f);
+    bool contains(const std::string& name) const;
+    // Registered names, sorted.
+    std::vector<std::string> names() const;
+    // Build the named scenario. Throws std::invalid_argument for unknown
+    // names, listing every registered scenario in the message. The config
+    // must be fully consumed by the factory (unknown keys throw too).
+    std::unique_ptr<Scenario> make(const std::string& name,
+                                   const ScenarioConfig& cfg = {}) const;
+
+private:
+    ScenarioRegistry(); // pre-registers the built-ins
+    std::vector<std::pair<std::string, Factory>> m_factories;
+};
+
+// Convenience wrapper over ScenarioRegistry::instance().make(...).
+std::unique_ptr<Scenario> makeScenarioByName(const std::string& name,
+                                             const ScenarioConfig& cfg = {});
+
+} // namespace exa::ensemble

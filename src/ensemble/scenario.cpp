@@ -1,0 +1,38 @@
+#include "ensemble/scenario.hpp"
+
+#include "core/crc32.hpp"
+
+namespace exa::ensemble {
+
+std::uint32_t stateCrc(const MultiFab& mf, std::uint32_t seed) {
+    std::uint32_t crc = seed;
+    for (std::size_t f = 0; f < mf.size(); ++f) {
+        const auto a = mf.const_array(static_cast<int>(f));
+        const Box& vb = mf.box(static_cast<int>(f));
+        const std::size_t row =
+            static_cast<std::size_t>(vb.bigEnd(0) - vb.smallEnd(0) + 1) *
+            sizeof(Real);
+        for (int n = 0; n < mf.nComp(); ++n) {
+            for (int k = vb.smallEnd(2); k <= vb.bigEnd(2); ++k) {
+                for (int j = vb.smallEnd(1); j <= vb.bigEnd(1); ++j) {
+                    // Array4 rows are i-contiguous; one CRC update per
+                    // valid row skips the ghost columns on either side.
+                    crc = crc32(&a(vb.smallEnd(0), j, k, n), row, crc);
+                }
+            }
+        }
+    }
+    return crc;
+}
+
+std::uint64_t stateBytesOf(const MultiFab& mf) {
+    std::uint64_t bytes = 0;
+    for (std::size_t f = 0; f < mf.size(); ++f) {
+        bytes += static_cast<std::uint64_t>(
+                     mf.fabbox(static_cast<int>(f)).numPts()) *
+                 static_cast<std::uint64_t>(mf.nComp()) * sizeof(Real);
+    }
+    return bytes;
+}
+
+} // namespace exa::ensemble

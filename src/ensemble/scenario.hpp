@@ -1,0 +1,123 @@
+#pragma once
+
+#include "core/real.hpp"
+#include "mesh/multifab.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace exa::ensemble {
+
+// Caps on a scenario's run, over and above the driver's CFL condition.
+// Zero (or negative) disables a cap. maxDt() folds these into the step
+// size and finished() decides when the scenario retires, so a direct
+// driver loop and an ensemble-scheduled run of the same scenario take
+// *exactly* the same dt sequence — the bit-identity contract.
+struct RunLimits {
+    Real t_stop = 0.0;  // stop when time() reaches this
+    int max_steps = 0;  // stop after this many steps
+    Real max_dt = 0.0;  // additional per-step dt cap
+};
+
+// The uniform driver interface of the ensemble layer: one independent
+// simulation (a Sedov blast, a reacting bubble, an AMR blast hierarchy, a
+// WD collision...) reduced to the five verbs a scheduler needs —
+// init / maxDt / advanceOnce / finished / summary — plus the accounting
+// the shared-infrastructure bookkeeping wants (zones, stateBytes,
+// stateCrc).
+//
+// Contract:
+//  * Construction is cheap and allocation-free; init() builds the driver
+//    and its state. The EnsembleRunner calls init() inside the tenant's
+//    arena/ledger/timer scopes so the allocations are attributed to the
+//    tenant that owns them.
+//  * advanceOnce() takes exactly one driver step of maxDt(). maxDt() is
+//    the driver's CFL estimate clamped by RunLimits — the same formula a
+//    hand-written driver loop uses — and is final so every scenario
+//    shares it.
+//  * All state is owned by the scenario: two scenarios never share
+//    mutable data, which is what makes ensemble interleaving (in any
+//    order, on any worker) bit-identical to running each alone.
+class Scenario {
+public:
+    Scenario(std::string name, const RunLimits& limits)
+        : m_name(std::move(name)), m_limits(limits) {}
+    virtual ~Scenario() = default;
+    Scenario(const Scenario&) = delete;
+    Scenario& operator=(const Scenario&) = delete;
+
+    // The registry name of this scenario kind ("sedov", "bubble", ...).
+    const std::string& name() const { return m_name; }
+    const RunLimits& limits() const { return m_limits; }
+
+    // Build the driver and its initial state. Called once, before any
+    // other virtual; everything below requires it.
+    virtual void init() = 0;
+    virtual bool initialized() const = 0;
+
+    virtual Real time() const = 0;
+    virtual int stepCount() const = 0;
+
+    // The driver's own stability limit (CFL or equivalent).
+    virtual Real estimateDt() const = 0;
+
+    // The step the scheduler will take: estimateDt() clamped by the
+    // RunLimits caps. Final by design — bit-identity between ensemble and
+    // direct runs rests on every path computing the same dt.
+    Real maxDt() const {
+        Real dt = estimateDt();
+        if (m_limits.max_dt > 0.0 && m_limits.max_dt < dt) dt = m_limits.max_dt;
+        if (m_limits.t_stop > 0.0) {
+            const Real left = m_limits.t_stop - time();
+            if (left < dt) dt = left;
+        }
+        return dt;
+    }
+
+    // Advance exactly one driver step of size dt.
+    virtual void advanceOnce(Real dt) = 0;
+    // Convenience: one step of maxDt().
+    void advanceOnce() { advanceOnce(maxDt()); }
+
+    // True when the scenario should retire. The base rule is the
+    // RunLimits; overrides may add science criteria (ignition) but must
+    // still honor the limits.
+    virtual bool finished() const {
+        if (m_limits.max_steps > 0 && stepCount() >= m_limits.max_steps)
+            return true;
+        if (m_limits.t_stop > 0.0 &&
+            time() >= m_limits.t_stop * (1.0 - 1.0e-12))
+            return true;
+        return false;
+    }
+
+    // Zones advanced by one step (throughput accounting). For AMR this is
+    // the whole-hierarchy zone count.
+    virtual std::int64_t zones() const = 0;
+
+    // Resident bytes of the simulation state (the device model's
+    // oversubscription accounting).
+    virtual std::uint64_t stateBytes() const = 0;
+
+    // CRC-32 fingerprint of the state's valid region — the bit-identity
+    // currency of the ensemble tests.
+    virtual std::uint32_t stateCrc() const = 0;
+
+    // One-line human-readable result.
+    virtual std::string summary() const = 0;
+
+private:
+    std::string m_name;
+    RunLimits m_limits;
+};
+
+// CRC-32 over the valid region of `mf`, all components, extending `seed`.
+// Rows are fed through the incremental crc32 in (comp, k, j, i) order;
+// ghost zones are excluded — they may legally hold uninitialized bytes.
+std::uint32_t stateCrc(const MultiFab& mf, std::uint32_t seed = 0);
+
+// Valid-region state bytes of `mf` including ghost allocation — what the
+// fab storage actually occupies, for residency accounting.
+std::uint64_t stateBytesOf(const MultiFab& mf);
+
+} // namespace exa::ensemble

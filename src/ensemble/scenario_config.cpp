@@ -1,0 +1,112 @@
+#include "ensemble/scenario_config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace exa::ensemble {
+
+ScenarioConfig ScenarioConfig::fromArgs(int argc, char** argv, int first) {
+    ScenarioConfig cfg;
+    for (int i = first; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument(
+                "ScenarioConfig::fromArgs: expected key=value, got \"" + tok +
+                "\"");
+        }
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void ScenarioConfig::set(const std::string& key, std::string value) {
+    m_kv[key] = std::move(value);
+}
+
+const std::string* ScenarioConfig::find(const std::string& key) const {
+    m_consumed.insert(key);
+    auto it = m_kv.find(key);
+    return it == m_kv.end() ? nullptr : &it->second;
+}
+
+std::string ScenarioConfig::getString(const std::string& key,
+                                      std::string fallback) const {
+    const std::string* v = find(key);
+    return v != nullptr ? *v : std::move(fallback);
+}
+
+int ScenarioConfig::getInt(const std::string& key, int fallback) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return fallback;
+    std::size_t pos = 0;
+    int out = 0;
+    try {
+        out = std::stoi(*v, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    if (pos != v->size()) {
+        throw std::invalid_argument("ScenarioConfig: key \"" + key +
+                                    "\" is not an integer: \"" + *v + "\"");
+    }
+    return out;
+}
+
+Real ScenarioConfig::getReal(const std::string& key, Real fallback) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return fallback;
+    std::size_t pos = 0;
+    double out = 0.0;
+    try {
+        out = std::stod(*v, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    if (pos != v->size()) {
+        throw std::invalid_argument("ScenarioConfig: key \"" + key +
+                                    "\" is not a number: \"" + *v + "\"");
+    }
+    return static_cast<Real>(out);
+}
+
+bool ScenarioConfig::getBool(const std::string& key, bool fallback) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return fallback;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+    if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+    throw std::invalid_argument("ScenarioConfig: key \"" + key +
+                                "\" is not a boolean: \"" + *v + "\"");
+}
+
+std::vector<std::string> ScenarioConfig::unconsumedKeys() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : m_kv) {
+        if (m_consumed.count(k) == 0) out.push_back(k);
+    }
+    return out;
+}
+
+void ScenarioConfig::requireAllConsumed(const std::string& scenario) const {
+    const auto leftover = unconsumedKeys();
+    if (leftover.empty()) return;
+    std::ostringstream os;
+    os << "scenario \"" << scenario << "\": unknown config key";
+    if (leftover.size() > 1) os << 's';
+    os << ' ';
+    for (std::size_t i = 0; i < leftover.size(); ++i) {
+        os << (i != 0 ? ", " : "") << '"' << leftover[i] << '"';
+    }
+    // Leftover keys were by definition never consulted, so m_consumed is
+    // exactly the accepted set.
+    os << "; accepted keys:";
+    for (const auto& k : m_consumed) os << ' ' << k;
+    throw std::invalid_argument(os.str());
+}
+
+} // namespace exa::ensemble

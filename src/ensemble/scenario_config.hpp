@@ -1,0 +1,58 @@
+#pragma once
+
+#include "core/real.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace exa::ensemble {
+
+// Generic key=value problem configuration: the currency of the
+// ScenarioRegistry. A scenario factory pulls typed values out with the
+// get* accessors (each marks its key consumed) and then calls
+// requireAllConsumed(), so a misspelled key is a hard error naming the
+// scenario and the keys it does accept — not a silently ignored setting.
+//
+// Values are stored as strings; fromArgs() builds one from main()'s
+// `key=value` arguments, which is how every example binary now takes its
+// problem setup.
+class ScenarioConfig {
+public:
+    ScenarioConfig() = default;
+
+    // Parse `key=value` tokens from argv[first..). A token without '=' or
+    // with an empty key throws std::invalid_argument naming the token.
+    static ScenarioConfig fromArgs(int argc, char** argv, int first = 1);
+
+    void set(const std::string& key, std::string value);
+    bool has(const std::string& key) const { return m_kv.count(key) != 0; }
+    std::size_t size() const { return m_kv.size(); }
+
+    // Typed accessors: return the value of `key` (or `fallback` when the
+    // key is absent) and mark the key consumed. Malformed numbers throw
+    // std::invalid_argument naming the key. Booleans accept 1/0, true/
+    // false, on/off, yes/no.
+    std::string getString(const std::string& key, std::string fallback) const;
+    int getInt(const std::string& key, int fallback) const;
+    Real getReal(const std::string& key, Real fallback) const;
+    bool getBool(const std::string& key, bool fallback) const;
+
+    // Keys present but never consumed by any accessor.
+    std::vector<std::string> unconsumedKeys() const;
+    // Throw std::invalid_argument listing every unconsumed key (and every
+    // key the scenario did consult) when any key was never consumed.
+    void requireAllConsumed(const std::string& scenario) const;
+
+private:
+    const std::string* find(const std::string& key) const;
+
+    std::map<std::string, std::string> m_kv;
+    // Consumption is observational bookkeeping, not configuration state:
+    // the accessors stay const so factories can take `const
+    // ScenarioConfig&`.
+    mutable std::set<std::string> m_consumed;
+};
+
+} // namespace exa::ensemble

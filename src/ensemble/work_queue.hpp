@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace exa::ensemble {
+
+// Work-stealing queue of tenant ids: each worker owns a deque; it pops
+// work from its own front and, when empty, steals from the *back* of a
+// victim's deque (classic Chase-Lev discipline, simplified to a mutex per
+// deque — contention here is one lock per simulation step, which is
+// microseconds of compute at minimum, so a lock-free deque would buy
+// nothing measurable).
+//
+// Determinism: with one worker there is no stealing, pops come off the
+// front and requeues push to the back, so tenants interleave in strict
+// round-robin order — the ordering the ensemble determinism tests pin
+// down. With several workers the *schedule* is timing-dependent, but
+// tenants share no mutable state, so results stay bit-identical anyway.
+class WorkStealingQueue {
+public:
+    explicit WorkStealingQueue(int nworkers) {
+        m_deques.reserve(static_cast<std::size_t>(nworkers));
+        for (int w = 0; w < nworkers; ++w)
+            m_deques.push_back(std::make_unique<Deque>());
+    }
+
+    int numWorkers() const { return static_cast<int>(m_deques.size()); }
+
+    // Push an item onto the back of `worker`'s deque.
+    void push(int worker, int item) {
+        Deque& d = *m_deques[static_cast<std::size_t>(worker)];
+        std::lock_guard<std::mutex> lk(d.m);
+        d.q.push_back(item);
+    }
+
+    // Pop: own front first; otherwise steal from the back of the first
+    // non-empty victim (scanning from worker+1 so steal pressure spreads).
+    // Returns false when every deque is empty *right now* — an item held
+    // by another worker may still be requeued, so emptiness is not
+    // completion (see EnsembleRunner's remaining-tenant count).
+    bool pop(int worker, int& item) {
+        {
+            Deque& d = *m_deques[static_cast<std::size_t>(worker)];
+            std::lock_guard<std::mutex> lk(d.m);
+            if (!d.q.empty()) {
+                item = d.q.front();
+                d.q.pop_front();
+                return true;
+            }
+        }
+        const int n = numWorkers();
+        for (int off = 1; off < n; ++off) {
+            Deque& d = *m_deques[static_cast<std::size_t>((worker + off) % n)];
+            std::lock_guard<std::mutex> lk(d.m);
+            if (!d.q.empty()) {
+                item = d.q.back();
+                d.q.pop_back();
+                m_steals.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::int64_t steals() const {
+        return m_steals.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Deque {
+        std::mutex m;
+        std::deque<int> q;
+    };
+    std::vector<std::unique_ptr<Deque>> m_deques;
+    std::atomic<std::int64_t> m_steals{0};
+};
+
+} // namespace exa::ensemble

@@ -535,8 +535,8 @@ Real Maestro::bubbleHeight() const {
     return wsum > 0 ? zsum / wsum : 0.0;
 }
 
-std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
-                                            const ReactionNetwork& net) {
+std::unique_ptr<Maestro> BubbleParams::build(const ReactionNetwork& net) const {
+    const BubbleParams& p = *this;
     Box dom({0, 0, 0}, {p.ncell - 1, p.ncell - 1, p.ncell - 1});
     Geometry geom(dom, {0, 0, 0}, {p.domain_width, p.domain_width, p.domain_width},
                   IntVect{1, 1, 0});

@@ -142,6 +142,10 @@ private:
 // The Section IV-B reacting bubble: a hot spherical perturbation in a
 // plane-parallel WD-interior atmosphere, burning carbon and rising
 // buoyantly. N = 2 reacting nuclei, as in the paper.
+//
+// The params struct IS the problem config: build() is the canonical
+// entry point, and the ensemble layer's ScenarioRegistry constructs
+// these by name ("bubble") from a generic key=value ScenarioConfig.
 struct BubbleParams {
     int ncell = 32;
     int max_grid_size = 16;
@@ -156,9 +160,16 @@ struct BubbleParams {
     bool do_react = true;
     StepGuardOptions guard;      // step retry (off by default)
     RebalanceOptions rebalance;  // cost-driven load balancing (off by default)
+
+    // Build a low-Mach Maestro instance initialized with the bubble.
+    std::unique_ptr<Maestro> build(const ReactionNetwork& net) const;
 };
 
-std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
-                                            const ReactionNetwork& net);
+[[deprecated("use BubbleParams::build(net), or the ensemble ScenarioRegistry "
+             "(\"bubble\") for config-driven construction")]]
+inline std::unique_ptr<Maestro> makeReactingBubble(const BubbleParams& p,
+                                                   const ReactionNetwork& net) {
+    return p.build(net);
+}
 
 } // namespace exa::maestro

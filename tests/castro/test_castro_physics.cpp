@@ -13,7 +13,7 @@ TEST(Sedov, BlastWaveExpandsSelfSimilarly) {
     SedovParams p;
     p.ncell = 32;
     p.max_grid_size = 16;
-    auto c = makeSedov(p, net);
+    auto c = p.build(net);
 
     // March to two times and check R ~ t^(2/5).
     auto advanceTo = [&](Real t) {
@@ -36,7 +36,7 @@ TEST(Sedov, EnergyIsConservedAndShockCompresses) {
     auto net = makeIgnitionSimple();
     SedovParams p;
     p.ncell = 32;
-    auto c = makeSedov(p, net);
+    auto c = p.build(net);
     const Real e0 = c->totalEnergy();
     while (c->time() < 0.05) c->step(std::min(c->estimateDt(), 0.05 - c->time()));
     // Outflow boundaries are far away at t = 0.05: energy conserved.
@@ -93,7 +93,7 @@ TEST(WdCollision, StarsApproachAndHeatAtContact) {
     p.domain_width = 1.0e10;
     p.separation_in_diameters = 1.2;
     p.approach_velocity = 3.0e8;
-    auto wd = makeWdCollision(p, net);
+    auto wd = p.build(net);
 
     const Real rho_center0 = [&] {
         // density at domain center at t=0 ~ ambient (stars offset)
@@ -123,7 +123,7 @@ TEST(WdCollision, TimescaleRatioDiagnosticBehaves) {
     p.ncell = 8;
     p.max_grid_size = 8;
     p.do_react = false;
-    auto wd = makeWdCollision(p, net);
+    auto wd = p.build(net);
     // No zone is hot yet: the diagnostic must report "no constraint".
     EXPECT_GT(wd.castro->minBurnTimescaleRatio(1.0e9), 1.0e50);
 }

@@ -354,7 +354,7 @@ TEST(ReactBatched, WdCollisionDriverEnablesBatchedHybridBurn) {
     WdCollisionParams p;
     p.ncell = 8;
     p.max_grid_size = 8;
-    auto wd = makeWdCollision(p);
+    auto wd = p.build();
     ASSERT_TRUE(wd.castro != nullptr);
     ASSERT_TRUE(wd.network != nullptr);
     EXPECT_EQ(wd.network->name(), "aprox13");
@@ -369,11 +369,11 @@ TEST(ReactBatched, WdCollisionNetworkSelectableByName) {
     p.ncell = 8;
     p.max_grid_size = 8;
     p.network = "iso7";
-    auto wd = makeWdCollision(p);
+    auto wd = p.build();
     ASSERT_TRUE(wd.network != nullptr);
     EXPECT_EQ(wd.network->name(), "iso7");
     EXPECT_EQ(wd.castro->network().nspec(), 7);
 
     p.network = "no_such_net";
-    EXPECT_THROW(makeWdCollision(p), std::invalid_argument);
+    EXPECT_THROW(p.build(), std::invalid_argument);
 }

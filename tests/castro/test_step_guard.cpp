@@ -331,7 +331,7 @@ TEST(StepGuardCastro, InjectedNanFluxIsCaughtAcrossBackends) {
         p.ncell = 16;
         p.max_grid_size = 8;
         p.guard = quietGuard();
-        auto c = makeSedov(p, net);
+        auto c = p.build(net);
         c->step(c->estimateDt());
         {
             fault::ScopedFault f(fault::Site::HydroNanFlux); // fires once
@@ -349,7 +349,7 @@ TEST(StepGuardCastro, InjectedHaloCorruptionIsCaughtAndRetried) {
     p.ncell = 16;
     p.max_grid_size = 8; // several fabs -> FillBoundary moves real payloads
     p.guard = quietGuard();
-    auto c = makeSedov(p, net);
+    auto c = p.build(net);
     c->step(c->estimateDt());
     {
         fault::ScopedFault f(fault::Site::HaloPayloadCorrupt);
@@ -367,7 +367,7 @@ TEST(StepGuardCastro, InjectedAllocationFailureIsRecoverable) {
     p.ncell = 8;
     p.max_grid_size = 8; // one fab: the snapshot is exactly one allocation
     p.guard = quietGuard();
-    auto c = makeSedov(p, net);
+    auto c = p.build(net);
     const Real dt = c->estimateDt();
     {
         // Skip the snapshot clone (alloc 0) and the two step temporaries,

@@ -243,7 +243,7 @@ TEST_P(AsyncHaloBackends, CastroGuardedStepAsyncMatchesSync) {
 
     auto run = [&](bool async) {
         comm::ScopedAsyncHalo mode(async);
-        auto c = castro::makeSedov(p, net);
+        auto c = p.build(net);
         const Real dt = c->estimateDt();
         for (int s = 0; s < 2; ++s) c->step(dt);
         return c;
@@ -296,7 +296,7 @@ TEST_P(AsyncHaloBackends, MaestroAdvanceAsyncMatchesSync) {
 
     auto run = [&](bool async) {
         comm::ScopedAsyncHalo mode(async);
-        auto m = maestro::makeReactingBubble(p, net);
+        auto m = p.build(net);
         const Real dt = m->estimateDt();
         m->step(dt);
         return m;

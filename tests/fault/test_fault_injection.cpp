@@ -57,7 +57,7 @@ TEST_F(FaultInjection, SedovWithMidRunNanFluxKeepsCleanRunInvariants) {
         p.ncell = 16;
         p.max_grid_size = 8;
         p.guard = quietGuard();
-        auto c = castro::makeSedov(p, net);
+        auto c = p.build(net);
         const Real m0 = c->totalMass();
         const Real e0 = c->totalEnergy();
         int step = 0;
@@ -97,7 +97,7 @@ TEST_F(FaultInjection, ReactingBubbleWithMidRunBurnFailureCompletes) {
     p.do_react = true;
     p.T_bubble = 1.0e9;
     p.guard = quietGuard();
-    auto m = maestro::makeReactingBubble(p, net);
+    auto m = p.build(net);
 
     const Real dt = 1.0e-8;
     BurnGridStats last;
@@ -140,7 +140,7 @@ TEST_F(FaultInjection, CheckpointCorruptedOnDiskIsRejectedOnRestart) {
     castro::SedovParams p;
     p.ncell = 16;
     p.max_grid_size = 8;
-    auto c = castro::makeSedov(p, net);
+    auto c = p.build(net);
     for (int s = 0; s < 2; ++s) c->step(c->estimateDt());
 
     TmpDir dir("checkpoint");
@@ -151,7 +151,7 @@ TEST_F(FaultInjection, CheckpointCorruptedOnDiskIsRejectedOnRestart) {
     writePlotfile(dir.path, c->state(), c->geom(), names, c->time(), 2);
     {
         castro::SedovParams q = p;
-        auto fresh = castro::makeSedov(q, net);
+        auto fresh = q.build(net);
         readPlotfileLevel(dir.path, 0, fresh->state());
         EXPECT_DOUBLE_EQ(fresh->totalMass(), c->totalMass());
         EXPECT_DOUBLE_EQ(fresh->totalEnergy(), c->totalEnergy());
@@ -163,7 +163,7 @@ TEST_F(FaultInjection, CheckpointCorruptedOnDiskIsRejectedOnRestart) {
         fault::ScopedFault f(fault::Site::CheckpointBitFlip);
         writePlotfile(dir.path, c->state(), c->geom(), names, c->time(), 2);
     }
-    auto fresh = castro::makeSedov(p, net);
+    auto fresh = p.build(net);
     try {
         readPlotfileLevel(dir.path, 0, fresh->state());
         FAIL() << "corrupted checkpoint was accepted";
@@ -188,7 +188,7 @@ TEST_F(FaultInjection, EnvStyleConfigDrivesAGuardedRun) {
     p.ncell = 16;
     p.max_grid_size = 8;
     p.guard = quietGuard();
-    auto c = castro::makeSedov(p, net);
+    auto c = p.build(net);
     for (int s = 0; s < 4; ++s) c->step(c->estimateDt());
 
     EXPECT_EQ(fault::stats(fault::Site::HydroNanFlux).fires, 1);
@@ -203,7 +203,7 @@ TEST_F(FaultInjection, AllocationFaultMidRunIsRecoverable) {
     p.ncell = 8;
     p.max_grid_size = 8;
     p.guard = quietGuard();
-    auto c = castro::makeSedov(p, net);
+    auto c = p.build(net);
     c->step(c->estimateDt());
     const Real dt = c->estimateDt();
     {

@@ -45,7 +45,7 @@ std::unique_ptr<Maestro> makeBubbleNoReact(int n) {
     p.max_grid_size = std::max(8, n / 2);
     p.do_react = false;
     auto net_local = new ReactionNetwork(makeIgnitionSimple()); // kept alive
-    return makeReactingBubble(p, *net_local);
+    return p.build(*net_local);
 }
 
 } // namespace
@@ -96,7 +96,7 @@ TEST(Maestro, QuiescentAtmosphereStaysQuiescent) {
     p.do_react = false;
     p.T_bubble = p.T_base; // no perturbation
     auto net = makeIgnitionSimple();
-    auto m = makeReactingBubble(p, net);
+    auto m = p.build(net);
     for (int s = 0; s < 5; ++s) m->step(std::min(m->estimateDt(), 1.0e-4));
     Real umax = 0.0;
     for (std::size_t b = 0; b < m->state().size(); ++b) {
@@ -114,7 +114,7 @@ TEST(Maestro, HotBubbleRises) {
     p.ncell = 16;
     p.do_react = false;
     auto net = makeIgnitionSimple();
-    auto m = makeReactingBubble(p, net);
+    auto m = p.build(net);
     const Real h0 = m->bubbleHeight();
     for (int s = 0; s < 12; ++s) m->step(m->estimateDt());
     const Real h1 = m->bubbleHeight();
@@ -130,7 +130,7 @@ TEST(Maestro, ReactionsHeatTheBubble) {
     p.do_react = true;
     p.T_bubble = 1.0e9; // vigorous carbon burning at rho ~ 2.6e9
     auto net = makeIgnitionSimple();
-    auto m = makeReactingBubble(p, net);
+    auto m = p.build(net);
     const Real T0 = m->maxTemperature();
     auto burn = m->step(1.0e-8);
     EXPECT_GT(burn.zones, 0);

@@ -24,7 +24,7 @@ struct GuardedBubble {
         p.do_react = true;
         p.T_bubble = 1.0e9;
         p.guard = guard;
-        m = makeReactingBubble(p, net);
+        m = p.build(net);
     }
 };
 

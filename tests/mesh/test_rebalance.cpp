@@ -548,7 +548,7 @@ TEST(RebalanceDrivers, CastroGuardedStepIdenticalWithUniformCostRebalancing) {
         q.rebalance.enabled = rebalance;
         q.rebalance.warmup_steps = 1;
         q.rebalance.min_interval = 1;
-        auto c = castro::makeSedov(q, net);
+        auto c = q.build(net);
         const Real dt = c->estimateDt();
         for (int s = 0; s < 3; ++s) c->step(dt);
         return c;
@@ -576,7 +576,7 @@ TEST(RebalanceDrivers, CastroTimeMetricCreditsComputeNotCommWaits) {
     q.rebalance.enabled = true;
     q.rebalance.warmup_steps = 100; // never migrate: we only read the monitor
     q.rebalance.cost.metric = CostMetric::Time;
-    auto c = castro::makeSedov(q, net);
+    auto c = q.build(net);
 
     CommHooks::setMessageHook([](const MessageRecord&) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -612,7 +612,7 @@ TEST(RebalanceDrivers, MaestroAdvanceIdenticalWithUniformCostRebalancing) {
         q.rebalance.enabled = rebalance;
         q.rebalance.warmup_steps = 1;
         q.rebalance.min_interval = 1;
-        auto m = maestro::makeReactingBubble(q, net);
+        auto m = q.build(net);
         const Real dt = m->estimateDt();
         for (int s = 0; s < 2; ++s) m->step(dt);
         return m;
@@ -636,7 +636,7 @@ TEST(RebalanceDrivers, CastroInjectedSkewTriggersMigrationAndPreservesState) {
         q.rebalance.warmup_steps = 1;
         q.rebalance.min_interval = 1;
         q.rebalance.imbalance_trigger = 1.3;
-        auto c = castro::makeSedov(q, net);
+        auto c = q.build(net);
         // Pretend the boxes rank 0 starts with host a burn interface:
         // inject model work on top of the driver's own accounting. Once
         // they migrate apart the skew stays attached to the boxes, so the
@@ -675,7 +675,7 @@ TEST(RebalanceDrivers, MaestroInjectedSkewMigratesAllCoupledFabs) {
     p.rebalance.min_interval = 1;
     p.rebalance.imbalance_trigger = 1.3;
 
-    auto m = maestro::makeReactingBubble(p, net);
+    auto m = p.build(net);
     const auto id0 = m->state().distributionMap().id();
     std::vector<int> hot;
     const DistributionMapping dm0 = m->state().distributionMap();

@@ -93,7 +93,7 @@ std::unique_ptr<castro::Castro> makeBlast(int nranks = 4) {
     p.max_grid_size = 8;
     p.nranks = nranks;
     p.guard = quietGuard();
-    return castro::makeSedov(p, net);
+    return p.build(net);
 }
 
 // A small MultiFab with a deterministic per-zone fingerprint.
@@ -486,12 +486,12 @@ TEST_P(ResilienceBackends, MaestroRankFailureRecoversBitIdentically) {
     p.guard = quietGuard();
     const int nsteps = 6;
 
-    auto baseline = maestro::makeReactingBubble(p, net);
+    auto baseline = p.build(net);
     for (int i = 0; i < nsteps; ++i) baseline->step(baseline->estimateDt());
 
     TmpDir tmp(std::string("maestro_") +
                ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    auto survivor = maestro::makeReactingBubble(p, net);
+    auto survivor = p.build(net);
     ResilienceSupervisor sup(makeSupervisedDriver(*survivor),
                              sedovSupervisor(tmp.path, 4));
     {
@@ -631,12 +631,12 @@ TEST_F(ResilienceTest, WdCollisionRankFailureRecoversBitIdentically) {
     p.nranks = 4;
     const int nsteps = 5;
 
-    castro::WdCollision baseline = castro::makeWdCollision(p, net);
+    castro::WdCollision baseline = p.build(net);
     for (int i = 0; i < nsteps; ++i)
         baseline.castro->step(baseline.castro->estimateDt());
 
     TmpDir tmp("wd");
-    castro::WdCollision survivor = castro::makeWdCollision(p, net);
+    castro::WdCollision survivor = p.build(net);
     ResilienceSupervisor sup(makeSupervisedDriver(*survivor.castro),
                              sedovSupervisor(tmp.path, 4));
     {
