@@ -23,7 +23,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-sanitize-${SAN//;/-}"
 
 # Repeated `ctest -L` flags AND together; one regex is the union.
-LABELS='rebalance|debug-backend|amr|burn|resilience|ensemble'
+LABELS='rebalance|debug-backend|amr|burn|resilience|ensemble|gravity'
 
 cmake -B "${BUILD}" -S "${ROOT}" -DEXA_SANITIZE="${SAN}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -8,13 +8,15 @@
 // `network` is any name in the NetworkRegistry (aprox13 by default; try
 // iso7 for the cheap reduced chain or aprox19 for the full 19-isotope
 // set). Prints the approach, contact, and heating history; writes an
-// x-axis line-out of density and temperature at the end (wd_lineout.csv).
+// x-axis line-out of density and temperature at the end
+// (out/wd_lineout.csv).
 
 #include "ensemble/scenarios.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <string>
 
 using namespace exa;
@@ -85,7 +87,8 @@ int main(int argc, char** argv) {
     }
 
     // x-axis line-out through the collision axis.
-    std::FILE* f = std::fopen("wd_lineout.csv", "w");
+    std::filesystem::create_directories("out");
+    std::FILE* f = std::fopen("out/wd_lineout.csv", "w");
     std::fprintf(f, "x,rho,T\n");
     const auto& s = wd.castro->state();
     const Geometry& g = wd.castro->geom();
@@ -101,6 +104,6 @@ int main(int argc, char** argv) {
         }
     }
     std::fclose(f);
-    std::printf("wrote wd_lineout.csv\n");
+    std::printf("wrote out/wd_lineout.csv\n");
     return 0;
 }

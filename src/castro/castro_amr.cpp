@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 #include <string>
 
 namespace exa::castro {
@@ -30,6 +31,14 @@ CastroAmr::CastroAmr(const Geometry& level0_geom, const AmrInfo& info,
     m_t_old.assign(info.max_level + 1, 0.0);
     m_t_new.assign(info.max_level + 1, 0.0);
     m_advances.assign(info.max_level + 1, 0);
+    if (opt.gravity == GravityType::PoissonAmr) {
+        m_gravity = std::make_unique<AmrGravity>(MgBC::Dirichlet);
+    } else if (opt.gravity != GravityType::None) {
+        // Monopole/Poisson are single-level constructs; the AMR driver
+        // couples levels through the composite solve only.
+        throw std::invalid_argument(
+            "CastroAmr: gravity must be None or PoissonAmr");
+    }
 }
 
 void CastroAmr::init() {
@@ -150,6 +159,7 @@ void CastroAmr::MakeNewLevelFromScratch(int lev, const BoxArray& ba,
     initLevelData(lev, m_state[lev]);
     resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
+    if (m_gravity) m_gravity->noteRegrid();
 }
 
 void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
@@ -165,6 +175,7 @@ void CastroAmr::MakeNewLevelFromCoarse(int lev, const BoxArray& ba,
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
     resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
+    if (m_gravity) m_gravity->noteRegrid();
 }
 
 void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
@@ -178,6 +189,7 @@ void CastroAmr::RemakeLevel(int lev, const BoxArray& ba,
     enforceConsistency(m_state[lev], m_net, m_eos, m_opt.small_dens);
     resetLevelCompanions(lev);
     m_rebalancer.noteRegrid(lev, ba.size());
+    if (m_gravity) m_gravity->noteRegrid();
 }
 
 void CastroAmr::remakeForRestore(
@@ -196,6 +208,7 @@ void CastroAmr::remakeForRestore(
         m_state[lev].setVal(0.0);
         m_rebalancer.noteRegrid(lev, ba.size());
     }
+    if (m_gravity) m_gravity->noteRegrid();
 }
 
 void CastroAmr::finishRestore() {
@@ -206,6 +219,14 @@ void CastroAmr::finishRestore() {
         m_dm[lev] = m_state[lev].distributionMap();
         resetLevelCompanions(lev);
     }
+    if (m_gravity) {
+        // The restored layouts may differ from the live ones, and any
+        // potential left from before the failure is stale: rebuild and
+        // re-solve cold at the next step (replay stays bit-identical
+        // because solves are pure functions of the restored density).
+        m_gravity->noteRegrid();
+        m_gravity->resetPoissonWarmStart();
+    }
 }
 
 void CastroAmr::ClearLevel(int lev) {
@@ -213,6 +234,7 @@ void CastroAmr::ClearLevel(int lev) {
     m_state_old[lev].clear();
     m_flux_reg[lev].clear();
     m_rebalancer.noteRegrid(lev, 0);
+    if (m_gravity) m_gravity->noteRegrid();
 }
 
 void CastroAmr::ErrorEst(int lev, MultiFab& tags) {
@@ -309,6 +331,14 @@ void CastroAmr::advanceLevel(int lev, Real time, Real dt, BurnGridStats& burn,
     MultiFab::LinComb(s, 0.5, s, 0.5, u1, 0, nc);
     enforceConsistency(s, m_net, m_eos, m_opt.small_dens);
 
+    if (m_gravity) {
+        // Operator-split source with the composite field solved at the
+        // start of the coarse step (every substep of this level reuses
+        // it, like the single-level driver's start-of-step field).
+        m_gravity->addSource(lev, s, dt);
+        enforceConsistency(s, m_net, m_eos, m_opt.small_dens);
+    }
+
     if (m_opt.do_react) {
         accumulate(reactState(s, m_net, m_eos, 0.5 * dt, m_opt.react, cost, lev));
     }
@@ -351,6 +381,20 @@ BurnGridStats CastroAmr::advanceOnce(Real t0, Real dt) {
     BurnGridStats burn;
     CostMonitor* cost =
         m_opt.rebalance.enabled ? &m_rebalancer.monitor() : nullptr;
+    if (m_gravity) {
+        // One composite solve per coarse step couples every level; the
+        // field is reused by each level advance within the step. Re-runs
+        // under a StepGuard retry recompute it from the rolled-back state,
+        // so the retry replays bit-identically.
+        TimerRegion timer("castro::gravity");
+        std::vector<Geometry> geoms;
+        std::vector<const MultiFab*> states;
+        for (int lev = 0; lev <= finestLevel(); ++lev) {
+            geoms.push_back(geom(lev));
+            states.push_back(&m_state[lev]);
+        }
+        m_gravity->solve(geoms, states, refRatio());
+    }
     timeStep(0, t0, dt, burn, cost);
     return burn;
 }
@@ -487,6 +531,7 @@ void CastroAmr::maybeRebalance() {
                                        m_state[lev].distributionMap(),
                                        refRatio(), m_layout.ncomp());
             }
+            if (m_gravity) m_gravity->noteRegrid();
         }
     }
 }

@@ -1,12 +1,14 @@
 #pragma once
 
 #include "castro/castro.hpp"
+#include "castro/gravity_amr.hpp"
 #include "mesh/amr_core.hpp"
 #include "mesh/flux_register.hpp"
 #include "mesh/interp.hpp"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace exa::castro {
@@ -94,6 +96,18 @@ public:
     // Retry accounting for the guarded steps of this run.
     const RetryStats& retryStats() const { return m_guard.stats(); }
 
+    // Composite-grid self-gravity (opt.gravity == PoissonAmr only; the
+    // per-level Monopole/Poisson solvers are single-level constructs and
+    // the ctor rejects them for the AMR driver).
+    bool hasGravity() const { return m_gravity != nullptr; }
+    AmrGravity& gravityAmr() { return *m_gravity; }
+    const AmrGravity& gravityAmr() const { return *m_gravity; }
+    // Lifetime MG counters of the gravity solver (zeros without gravity);
+    // feeds the supervisor / ensemble summaries.
+    MgEvent mgTotals() const {
+        return m_gravity ? m_gravity->totals() : MgEvent{};
+    }
+
     // Load-balancer access (cost monitor, decision stats). Each level is
     // rebalanced independently after the step (and its cost history is
     // reset whenever a regrid rebuilds the level).
@@ -177,6 +191,7 @@ private:
     // m_flux_reg[lev] guards the lev-1 / lev interface (unused at 0).
     std::vector<FluxRegister> m_flux_reg;
     std::vector<std::int64_t> m_advances;
+    std::unique_ptr<AmrGravity> m_gravity;
     StepGuard m_guard;
     Rebalancer m_rebalancer;
     Real m_time = 0.0;

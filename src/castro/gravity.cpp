@@ -4,9 +4,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace exa::castro {
+
+GravityType gravityTypeFromName(const std::string& name) {
+    if (name == "none") return GravityType::None;
+    if (name == "monopole") return GravityType::Monopole;
+    if (name == "poisson") return GravityType::Poisson;
+    if (name == "poisson-amr") return GravityType::PoissonAmr;
+    throw std::invalid_argument("unknown gravity type: " + name);
+}
 
 Gravity::Gravity(GravityType type, const Geometry& geom, int /*nspec*/)
     : m_type(type), m_geom(geom) {
@@ -19,9 +28,11 @@ void Gravity::solve(const MultiFab& state) {
     if (m_type == GravityType::None) return;
     if (!m_defined) {
         m_g.define(state.boxArray(), state.distributionMap(), 3, 0);
-        if (m_type == GravityType::Poisson) {
+        if (m_type == GravityType::Poisson || m_type == GravityType::PoissonAmr) {
             m_phi.define(state.boxArray(), state.distributionMap(), 1, 1);
             m_phi.setVal(0.0);
+        }
+        if (m_type == GravityType::Poisson) {
             Multigrid::Options opt;
             opt.rtol = 1.0e-9;
             m_mg = std::make_unique<Multigrid>(m_geom, MgBC::Dirichlet, opt);
@@ -30,21 +41,41 @@ void Gravity::solve(const MultiFab& state) {
     }
     if (m_type == GravityType::Monopole) {
         solveMonopole(state);
-    } else {
+    } else if (m_type == GravityType::Poisson) {
         solvePoisson(state);
+    } else {
+        solvePoissonAmr(state);
     }
 }
 
 void Gravity::resetPoissonWarmStart() {
-    if (m_defined && m_type == GravityType::Poisson) m_phi.setVal(0.0);
+    if (m_defined &&
+        (m_type == GravityType::Poisson || m_type == GravityType::PoissonAmr)) {
+        m_phi.setVal(0.0);
+    }
 }
 
 std::vector<MultiFab*> Gravity::rebalanceFabs() {
     std::vector<MultiFab*> fabs;
     if (!m_defined) return fabs;
     fabs.push_back(&m_g);
-    if (m_type == GravityType::Poisson) fabs.push_back(&m_phi);
+    if (m_type == GravityType::Poisson || m_type == GravityType::PoissonAmr) {
+        fabs.push_back(&m_phi);
+    }
     return fabs;
+}
+
+MgEvent Gravity::mgTotals() const {
+    MgEvent e;
+    if (m_cmg) {
+        const CompositeMgStats& s = m_cmg->stats();
+        e.fmg_cycles = s.fmg_cycles;
+        e.vcycles = s.vcycles;
+        e.sweeps = s.sweeps;
+        e.agg_copies = s.agg_copies;
+        e.agg_bytes = s.agg_bytes;
+    }
+    return e;
 }
 
 void Gravity::solveMonopole(const MultiFab& state) {
@@ -104,30 +135,13 @@ void Gravity::solveMonopole(const MultiFab& state) {
     }
 }
 
-void Gravity::solvePoisson(const MultiFab& state) {
-    // rhs = 4 pi G rho.
-    MultiFab rhs(state.boxArray(), state.distributionMap(), 1, 0);
-    for (std::size_t f = 0; f < rhs.size(); ++f) {
-        auto r = rhs.array(static_cast<int>(f));
-        auto u = state.const_array(static_cast<int>(f));
-        ParallelFor(rhs.box(static_cast<int>(f)), [=](int i, int j, int k) {
-            r(i, j, k) = 4.0 * constants::pi * constants::G_newton *
-                         u(i, j, k, StateLayout::URHO);
-        });
-    }
-    auto res = m_mg->solve(m_phi, rhs);
-    m_last_vcycles = res.vcycles;
-
-    // g = -grad(phi), central differences; ghost zones of phi were filled
-    // by the solver's boundary logic only on its own layout, so refill.
-    m_phi.FillBoundary(0, m_phi.nComp(), m_geom.periodicity());
-    // Dirichlet ghost fill at physical boundaries: phi ~ 0 outside.
-    const Geometry geom = m_geom;
-    for (std::size_t f = 0; f < m_g.size(); ++f) {
-        auto g = m_g.array(static_cast<int>(f));
-        auto p = m_phi.const_array(static_cast<int>(f));
-        const Box& vb = m_g.box(static_cast<int>(f));
+void computeGravityAccel(const MultiFab& phi, MultiFab& g, const Geometry& geom) {
+    for (std::size_t f = 0; f < g.size(); ++f) {
+        auto ga = g.array(static_cast<int>(f));
+        auto p = phi.const_array(static_cast<int>(f));
+        const Box& vb = g.box(static_cast<int>(f));
         const Box& dom = geom.domain();
+        const Geometry gm = geom;
         ParallelFor(KernelInfo{"grav_grad_phi", 20.0, 64.0, 40, 1.0}, vb,
                     [=](int i, int j, int k) {
                         auto grad = [&](int d) {
@@ -137,20 +151,19 @@ void Gravity::solvePoisson(const MultiFab& state) {
                             Real pm = dom.contains(lo) ? p(lo.x, lo.y, lo.z) : 0.0;
                             Real pp = dom.contains(hi) ? p(hi.x, hi.y, hi.z) : 0.0;
                             // One-sided at the domain edge (phi -> 0 far away).
-                            return (pp - pm) / (2.0 * geom.cellSize(d));
+                            return (pp - pm) / (2.0 * gm.cellSize(d));
                         };
-                        g(i, j, k, 0) = -grad(0);
-                        g(i, j, k, 1) = -grad(1);
-                        g(i, j, k, 2) = -grad(2);
+                        ga(i, j, k, 0) = -grad(0);
+                        ga(i, j, k, 1) = -grad(1);
+                        ga(i, j, k, 2) = -grad(2);
                     });
     }
 }
 
-void Gravity::addSource(MultiFab& state, Real dt) const {
-    if (m_type == GravityType::None) return;
+void applyGravitySource(MultiFab& state, const MultiFab& g, Real dt) {
     for (std::size_t f = 0; f < state.size(); ++f) {
         auto u = state.array(static_cast<int>(f));
-        auto g = m_g.const_array(static_cast<int>(f));
+        auto ga = g.const_array(static_cast<int>(f));
         ParallelFor(KernelInfo{"grav_source", 30.0, 100.0, 48, 1.0},
                     state.box(static_cast<int>(f)), [=](int i, int j, int k) {
                         const Real rho = u(i, j, k, StateLayout::URHO);
@@ -159,15 +172,75 @@ void Gravity::addSource(MultiFab& state, Real dt) const {
                                        u(i, j, k, StateLayout::UMX + 2)};
                         Real de = 0.0;
                         for (int d = 0; d < 3; ++d) {
-                            const Real dm = dt * rho * g(i, j, k, d);
+                            const Real dm = dt * rho * ga(i, j, k, d);
                             // Trapezoidal energy source: (mom_old+mom_new)/2 . g
-                            de += dt * (mom[d] + 0.5 * dm) * g(i, j, k, d);
+                            de += dt * (mom[d] + 0.5 * dm) * ga(i, j, k, d);
                             mom[d] += dm;
                             u(i, j, k, StateLayout::UMX + d) = mom[d];
                         }
                         u(i, j, k, StateLayout::UEDEN) += de;
                     });
     }
+}
+
+namespace {
+
+// rhs = 4 pi G rho on the state's layout.
+MultiFab makeGravityRhs(const MultiFab& state) {
+    MultiFab rhs(state.boxArray(), state.distributionMap(), 1, 0);
+    for (std::size_t f = 0; f < rhs.size(); ++f) {
+        auto r = rhs.array(static_cast<int>(f));
+        auto u = state.const_array(static_cast<int>(f));
+        ParallelFor(rhs.box(static_cast<int>(f)), [=](int i, int j, int k) {
+            r(i, j, k) = 4.0 * constants::pi * constants::G_newton *
+                         u(i, j, k, StateLayout::URHO);
+        });
+    }
+    return rhs;
+}
+
+} // namespace
+
+void Gravity::solvePoisson(const MultiFab& state) {
+    MultiFab rhs = makeGravityRhs(state);
+    auto res = m_mg->solve(m_phi, rhs);
+    m_last_vcycles = res.vcycles;
+
+    // g = -grad(phi), central differences; ghost zones of phi were filled
+    // by the solver's boundary logic only on its own layout, so refill.
+    m_phi.FillBoundary(0, m_phi.nComp(), m_geom.periodicity());
+    // Dirichlet ghost fill at physical boundaries: phi ~ 0 outside.
+    computeGravityAccel(m_phi, m_g, m_geom);
+}
+
+void Gravity::solvePoissonAmr(const MultiFab& state) {
+    // The composite solver captures the layout at construction; a
+    // rebalance migrates the state (and m_phi/m_g with it), so rebuild on
+    // any layout-id change. Solves are cold, so a rebuild costs setup
+    // only — the answer is unchanged.
+    if (!m_cmg || m_cmg_ba_id != state.boxArray().id() ||
+        m_cmg_dm_id != state.distributionMap().id()) {
+        CompositeMgOptions opt;
+        opt.rtol = 1.0e-10;
+        opt.nranks = state.distributionMap().numRanks();
+        m_cmg = std::make_unique<CompositeMg>(
+            std::vector<Geometry>{m_geom},
+            std::vector<BoxArray>{state.boxArray()},
+            std::vector<DistributionMapping>{state.distributionMap()}, 2,
+            MgBC::Dirichlet, opt);
+        m_cmg_ba_id = state.boxArray().id();
+        m_cmg_dm_id = state.distributionMap().id();
+    }
+    MultiFab rhs = makeGravityRhs(state);
+    auto res = m_cmg->solve({&m_phi}, {&rhs});
+    m_last_vcycles = res.vcycles;
+    m_cmg->fillCompositeGhosts({&m_phi});
+    computeGravityAccel(m_phi, m_g, m_geom);
+}
+
+void Gravity::addSource(MultiFab& state, Real dt) const {
+    if (m_type == GravityType::None) return;
+    applyGravitySource(state, m_g, dt);
 }
 
 } // namespace exa::castro

@@ -1,16 +1,19 @@
 #pragma once
 
 #include "castro/state.hpp"
+#include "mesh/comm_hooks.hpp"
 #include "mesh/multifab.hpp"
 #include "microphysics/network.hpp"
+#include "solvers/mg/composite_mg.hpp"
 #include "solvers/multigrid.hpp"
 
 #include <array>
 #include <memory>
+#include <string>
 
 namespace exa::castro {
 
-// Self-gravity for Castro-mini. Two solvers, as in Castro:
+// Self-gravity for Castro-mini. Three solvers, as in Castro:
 //   * Monopole: spherically averaged mass profile about a center;
 //     g(r) = -G M(<r) / r^2. Cheap, exact for spherical stars; used for
 //     the early (free-fall) phase sanity checks.
@@ -18,7 +21,25 @@ namespace exa::castro {
 //     homogeneous Dirichlet boundaries (the domain is assumed to extend
 //     well beyond the mass). This is the "global linear solve similar to
 //     [the multigrid solve], though a little easier" of Section V.
-enum class GravityType { None, Monopole, Poisson };
+//   * PoissonAmr: the same Poisson problem solved by the composite-grid
+//     FMG solver (CompositeMg). On the single-level driver this is one
+//     AMR rung plus the geometric ladder below; CastroAmr couples every
+//     AMR level into one solve (AmrGravity).
+enum class GravityType { None, Monopole, Poisson, PoissonAmr };
+
+// Parse a config-file gravity name: "none", "monopole", "poisson",
+// "poisson-amr". Throws std::invalid_argument otherwise.
+GravityType gravityTypeFromName(const std::string& name);
+
+// g = -grad(phi) by central differences on phi's valid region. Ghost
+// zones of phi must be current (same-level exchange + coarse-fine
+// interpolation where applicable); at physical boundaries the stencil
+// goes one-sided with phi -> 0 outside (far-field Dirichlet).
+void computeGravityAccel(const MultiFab& phi, MultiFab& g, const Geometry& geom);
+
+// Operator-split momentum + trapezoidal energy source over dt from a
+// 3-component acceleration field on the state's layout.
+void applyGravitySource(MultiFab& state, const MultiFab& g, Real dt);
 
 class Gravity {
 public:
@@ -38,6 +59,10 @@ public:
     // Total modeled multigrid V-cycles (performance accounting).
     int lastVcycles() const { return m_last_vcycles; }
 
+    // Lifetime MG counters for the composite solver (zeros for the other
+    // gravity types); feeds the supervisor / ensemble summaries.
+    MgEvent mgTotals() const;
+
     // The fabs living on the state's layout that must migrate with it
     // when the load balancer redistributes (empty until the first solve
     // defines them; the multigrid hierarchy keeps its own internal
@@ -56,12 +81,16 @@ public:
 private:
     void solveMonopole(const MultiFab& state);
     void solvePoisson(const MultiFab& state);
+    void solvePoissonAmr(const MultiFab& state);
 
     GravityType m_type;
     Geometry m_geom;
     MultiFab m_g;   // acceleration, 3 components, on the state's BoxArray
-    MultiFab m_phi; // potential (Poisson only)
+    MultiFab m_phi; // potential (Poisson/PoissonAmr only)
     std::unique_ptr<Multigrid> m_mg;
+    std::unique_ptr<CompositeMg> m_cmg; // PoissonAmr; rebuilt on layout change
+    std::uint64_t m_cmg_ba_id = 0;
+    std::uint64_t m_cmg_dm_id = 0;
     std::array<Real, 3> m_center;
     int m_last_vcycles = 0;
     bool m_defined = false;

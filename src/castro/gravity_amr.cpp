@@ -1,0 +1,105 @@
+#include "castro/gravity_amr.hpp"
+
+#include "core/parallel_for.hpp"
+#include "core/timer.hpp"
+
+namespace exa::castro {
+
+AmrGravity::AmrGravity(MgBC bc, const CompositeMgOptions& opt)
+    : m_bc(bc), m_opt(opt) {}
+
+void AmrGravity::solve(const std::vector<Geometry>& geoms,
+                       const std::vector<const MultiFab*>& states,
+                       int ref_ratio) {
+    TimerRegion timer("gravity/amr-solve");
+    const std::size_t nlev = states.size();
+
+    bool rebuild = m_dirty || m_layout_ids.size() != nlev;
+    for (std::size_t l = 0; !rebuild && l < nlev; ++l) {
+        rebuild = m_layout_ids[l].first != states[l]->boxArray().id() ||
+                  m_layout_ids[l].second != states[l]->distributionMap().id();
+    }
+    if (rebuild) {
+        std::vector<BoxArray> bas;
+        std::vector<DistributionMapping> dms;
+        std::vector<Geometry> gs;
+        m_layout_ids.clear();
+        for (std::size_t l = 0; l < nlev; ++l) {
+            bas.push_back(states[l]->boxArray());
+            dms.push_back(states[l]->distributionMap());
+            gs.push_back(geoms[l]);
+            m_layout_ids.emplace_back(bas.back().id(), dms.back().id());
+        }
+        CompositeMgOptions opt = m_opt;
+        opt.nranks = dms[0].numRanks();
+        m_cmg = std::make_unique<CompositeMg>(std::move(gs), std::move(bas),
+                                              std::move(dms), ref_ratio, m_bc,
+                                              opt);
+        m_phi.clear();
+        m_phi.resize(nlev);
+        m_g.clear();
+        m_g.resize(nlev);
+        for (std::size_t l = 0; l < nlev; ++l) {
+            m_phi[l].define(states[l]->boxArray(),
+                            states[l]->distributionMap(), 1, 1);
+            m_phi[l].setVal(0.0);
+            m_g[l].define(states[l]->boxArray(), states[l]->distributionMap(),
+                          3, 0);
+        }
+        m_dirty = false;
+    }
+
+    // rhs[lev] = 4 pi G rho on each level's own layout.
+    std::vector<MultiFab> rhs(nlev);
+    std::vector<MultiFab*> phi_ptrs(nlev);
+    std::vector<const MultiFab*> rhs_ptrs(nlev);
+    for (std::size_t l = 0; l < nlev; ++l) {
+        rhs[l].define(states[l]->boxArray(), states[l]->distributionMap(), 1, 0);
+        for (std::size_t f = 0; f < rhs[l].size(); ++f) {
+            auto r = rhs[l].array(static_cast<int>(f));
+            auto u = states[l]->const_array(static_cast<int>(f));
+            ParallelFor(rhs[l].box(static_cast<int>(f)),
+                        [=](int i, int j, int k) {
+                            r(i, j, k) = 4.0 * constants::pi *
+                                         constants::G_newton *
+                                         u(i, j, k, StateLayout::URHO);
+                        });
+        }
+        phi_ptrs[l] = &m_phi[l];
+        rhs_ptrs[l] = &rhs[l];
+    }
+
+    m_last = m_cmg->solve(phi_ptrs, rhs_ptrs);
+    m_totals.vcycles += m_last.all_vcycles;
+    m_totals.fmg_cycles += m_last.fmg_cycles;
+    m_totals.sweeps += m_last.sweeps;
+    m_totals.agg_copies += m_last.agg_copies;
+    m_totals.agg_bytes += m_last.agg_bytes;
+
+    // Ghosts for the gradient stencil: same-level exchange, coarse-fine
+    // interpolation, physical BC.
+    m_cmg->fillCompositeGhosts(phi_ptrs);
+    for (std::size_t l = 0; l < nlev; ++l) {
+        computeGravityAccel(m_phi[l], m_g[l], geoms[l]);
+    }
+}
+
+void AmrGravity::addSource(int lev, MultiFab& state, Real dt) const {
+    applyGravitySource(state, m_g[lev], dt);
+}
+
+void AmrGravity::resetPoissonWarmStart() {
+    for (MultiFab& p : m_phi) p.setVal(0.0);
+}
+
+MgEvent AmrGravity::totals() const {
+    MgEvent e;
+    e.fmg_cycles = m_totals.fmg_cycles;
+    e.vcycles = m_totals.vcycles;
+    e.sweeps = m_totals.sweeps;
+    e.agg_copies = m_totals.agg_copies;
+    e.agg_bytes = m_totals.agg_bytes;
+    return e;
+}
+
+} // namespace exa::castro

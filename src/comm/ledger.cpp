@@ -23,6 +23,7 @@ void CommLedger::attach() {
         [this](const RebalanceEvent& e) { recordRebalance(e); });
     CommHooks::setResilienceHook(
         [this](const ResilienceEvent& e) { recordResilience(e); });
+    CommHooks::setMgHook([this](const MgEvent& e) { recordMg(e); });
     m_attached = true;
 }
 
@@ -32,6 +33,7 @@ void CommLedger::detach() {
         CommHooks::clearHaloHook();
         CommHooks::clearRebalanceHook();
         CommHooks::clearResilienceHook();
+        CommHooks::clearMgHook();
         m_attached = false;
     }
 }
@@ -81,6 +83,16 @@ void CommLedger::recordResilience(const ResilienceEvent& e) {
     m_recovery_bytes.fetch_add(e.recovery_bytes, std::memory_order_relaxed);
 }
 
+void CommLedger::recordMg(const MgEvent& e) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_mg_fmg_cycles += e.fmg_cycles;
+    m_mg_vcycles += e.vcycles;
+    m_mg_sweeps += e.sweeps;
+    m_mg_agg_copies += e.agg_copies;
+    m_mg_agg_bytes += e.agg_bytes;
+    if (!t_ledger_tenant.empty()) m_tenant_mg[t_ledger_tenant] += e.vcycles;
+}
+
 void CommLedger::reset() {
     std::lock_guard<std::mutex> lk(m_mutex);
     m_edges.clear();
@@ -95,6 +107,12 @@ void CommLedger::reset() {
     m_rebalances = 0;
     m_migration_bytes = 0;
     m_migration_boxes = 0;
+    m_mg_fmg_cycles = 0;
+    m_mg_vcycles = 0;
+    m_mg_sweeps = 0;
+    m_mg_agg_copies = 0;
+    m_mg_agg_bytes = 0;
+    m_tenant_mg.clear();
     m_checkpoints.store(0);
     m_checkpoint_bytes.store(0);
     m_ranks_recovered.store(0);
@@ -165,6 +183,31 @@ std::int64_t CommLedger::migrationBytes() const {
 std::int64_t CommLedger::migrationBoxesMoved() const {
     std::lock_guard<std::mutex> lk(m_mutex);
     return m_migration_boxes;
+}
+std::int64_t CommLedger::mgFmgCycles() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_mg_fmg_cycles;
+}
+std::int64_t CommLedger::mgVcycles() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_mg_vcycles;
+}
+std::int64_t CommLedger::mgSweeps() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_mg_sweeps;
+}
+std::int64_t CommLedger::mgAggCopies() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_mg_agg_copies;
+}
+std::int64_t CommLedger::mgAggBytes() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_mg_agg_bytes;
+}
+std::int64_t CommLedger::tenantMgVcycles(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    auto it = m_tenant_mg.find(tenant);
+    return it == m_tenant_mg.end() ? 0 : it->second;
 }
 
 std::int64_t CommLedger::offNodeBytes(const RankLayout& layout) const {

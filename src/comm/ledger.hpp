@@ -41,6 +41,7 @@ public:
     void recordHalo(const HaloEvent& e);
     void recordRebalance(const RebalanceEvent& e);
     void recordResilience(const ResilienceEvent& e);
+    void recordMg(const MgEvent& e);
     void reset();
 
     std::int64_t totalBytes() const;
@@ -87,6 +88,18 @@ public:
     std::int64_t recoveryReplaySteps() const { return m_replay_steps.load(); }
     std::int64_t recoveryBytes() const { return m_recovery_bytes.load(); }
 
+    // Multigrid solve accounting (MgEvent hook): FMG/V-cycle and smoother
+    // sweep counts from the Poisson solvers, plus the coarse-level rank
+    // aggregation's staged ParallelCopies and their off-rank payload.
+    // V-cycles are also bucketed per tenant (like bytes/messages), so an
+    // ensemble can answer "whose solves were these?".
+    std::int64_t mgFmgCycles() const;
+    std::int64_t mgVcycles() const;
+    std::int64_t mgSweeps() const;
+    std::int64_t mgAggCopies() const;
+    std::int64_t mgAggBytes() const;
+    std::int64_t tenantMgVcycles(const std::string& tenant) const;
+
     // Bytes that would cross the node boundary under the given layout.
     std::int64_t offNodeBytes(const RankLayout& layout) const;
 
@@ -112,6 +125,12 @@ private:
     std::int64_t m_rebalances = 0;
     std::int64_t m_migration_bytes = 0;
     std::int64_t m_migration_boxes = 0;
+    std::int64_t m_mg_fmg_cycles = 0;
+    std::int64_t m_mg_vcycles = 0;
+    std::int64_t m_mg_sweeps = 0;
+    std::int64_t m_mg_agg_copies = 0;
+    std::int64_t m_mg_agg_bytes = 0;
+    std::map<std::string, std::int64_t> m_tenant_mg; // tenant -> v-cycles
     std::atomic<std::int64_t> m_checkpoints{0};
     std::atomic<std::int64_t> m_checkpoint_bytes{0};
     std::atomic<std::int64_t> m_ranks_recovered{0};

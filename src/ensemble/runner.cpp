@@ -2,6 +2,7 @@
 
 #include "core/arena.hpp"
 #include "core/executor.hpp"
+#include "mesh/copier_cache.hpp"
 
 #include <algorithm>
 #include <iomanip>
@@ -80,6 +81,11 @@ void EnsembleRunner::stepTenant(int id, WorkStealingQueue& queue, int worker) {
         t.state_bytes = t.scenario->stateBytes();
         if (m_opt.device != nullptr)
             addResident(static_cast<double>(t.state_bytes));
+        // The copier cache is process-wide: size its LRU for the number
+        // of grids that are actually live, or N distinct-grid tenants
+        // thrash each other's plans every step.
+        CopierCache::instance().noteLiveTenants(
+            m_live.fetch_add(1, std::memory_order_acq_rel) + 1);
     }
 
     // Run the tenant for its quantum (<= 0: to completion), keeping its
@@ -106,6 +112,8 @@ void EnsembleRunner::stepTenant(int id, WorkStealingQueue& queue, int worker) {
         // keeps only live simulations on the device.
         if (m_opt.device != nullptr)
             addResident(-static_cast<double>(t.state_bytes));
+        CopierCache::instance().noteLiveTenants(
+            m_live.fetch_sub(1, std::memory_order_acq_rel) - 1);
         m_remaining.fetch_sub(1, std::memory_order_acq_rel);
     } else {
         queue.push(worker, id);
@@ -185,6 +193,7 @@ EnsembleReport EnsembleRunner::run() {
         if (m_opt.ledger != nullptr) {
             tr.comm_bytes = m_opt.ledger->tenantBytes(t.label);
             tr.comm_messages = m_opt.ledger->tenantMessages(t.label);
+            tr.mg_vcycles = m_opt.ledger->tenantMgVcycles(t.label);
         }
         all_ms.insert(all_ms.end(), t.step_ms.begin(), t.step_ms.end());
         zone_steps += t.zone_steps;

@@ -64,6 +64,7 @@ struct TenantReport {
     std::uint64_t arena_allocated_bytes = 0;
     std::int64_t comm_bytes = 0; // 0 unless EnsembleOptions::ledger set
     std::int64_t comm_messages = 0;
+    std::int64_t mg_vcycles = 0; // multigrid v-cycles (ledger-attributed)
     std::string summary;
 };
 
@@ -137,6 +138,9 @@ private:
     EnsembleOptions m_opt;
     std::vector<Tenant> m_tenants;
     std::atomic<int> m_remaining{0};
+    // Initialized-but-unfinished tenants; mirrored into the process-wide
+    // CopierCache so its LRU capacity scales with co-resident tenants.
+    std::atomic<int> m_live{0};
     std::mutex m_resident_mutex;
     double m_resident_bytes = 0.0;
     bool m_ran = false;

@@ -43,6 +43,7 @@ AmrBlastParams::build(const ReactionNetwork& net) const {
     opt.bc = DomainBC::allOutflow();
     opt.cfl = cfl;
     opt.reconstruction = Reconstruction::PPM;
+    opt.gravity = gravity;
 
     const Real r0 = r_init;
     const Real e_in = 1.0 / ((4.0 / 3.0) * constants::pi * std::pow(r0, 3));
@@ -190,6 +191,8 @@ AmrBlastScenario::AmrBlastScenario(const ScenarioConfig& cfg)
     m_params.tag_temp = cfg.getReal("tag-temp", m_params.tag_temp);
     m_params.regrid_interval =
         cfg.getInt("regrid-interval", m_params.regrid_interval);
+    m_params.gravity =
+        castro::gravityTypeFromName(cfg.getString("gravity", "none"));
     cfg.requireAllConsumed("amr-blast");
 }
 
@@ -249,6 +252,8 @@ WdCollisionScenario::WdCollisionScenario(const ScenarioConfig& cfg)
     m_params.do_react = cfg.getBool("do-react", m_params.do_react);
     m_params.ignition_T = cfg.getReal("ignition-T", m_params.ignition_T);
     m_params.network = cfg.getString("network", m_params.network);
+    m_params.gravity =
+        castro::gravityTypeFromName(cfg.getString("gravity", "monopole"));
     cfg.requireAllConsumed("wd-collision");
 }
 

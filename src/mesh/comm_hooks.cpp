@@ -7,6 +7,7 @@ MessageHook g_hook;
 HaloHook g_halo_hook;
 RebalanceHook g_rebalance_hook;
 ResilienceHook g_resilience_hook;
+MgHook g_mg_hook;
 }
 
 void CommHooks::setMessageHook(MessageHook h) { g_hook = std::move(h); }
@@ -44,5 +45,12 @@ void CommHooks::notifyResilience(const ResilienceEvent& e) {
 bool CommHooks::resilienceActive() {
     return static_cast<bool>(g_resilience_hook);
 }
+
+void CommHooks::setMgHook(MgHook h) { g_mg_hook = std::move(h); }
+void CommHooks::clearMgHook() { g_mg_hook = nullptr; }
+void CommHooks::notifyMg(const MgEvent& e) {
+    if (g_mg_hook) g_mg_hook(e);
+}
+bool CommHooks::mgActive() { return static_cast<bool>(g_mg_hook); }
 
 } // namespace exa

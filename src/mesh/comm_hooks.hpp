@@ -68,6 +68,21 @@ struct ResilienceEvent {
 
 using ResilienceHook = std::function<void(const ResilienceEvent&)>;
 
+// Multigrid solve accounting deltas, fired once per solve by the Poisson
+// solvers (single-level Multigrid and the composite-grid FMG solver):
+// cycle/sweep counts plus the coarse-level rank-aggregation traffic
+// (staged ParallelCopies between the distributed fine layout and the
+// few-rank aggregated coarse layout, and their off-rank payload bytes).
+struct MgEvent {
+    std::int64_t fmg_cycles = 0;
+    std::int64_t vcycles = 0;
+    std::int64_t sweeps = 0;
+    std::int64_t agg_copies = 0;
+    std::int64_t agg_bytes = 0;
+};
+
+using MgHook = std::function<void(const MgEvent&)>;
+
 // Process-global sink for message records (mirrors ExecConfig's launch
 // hook). Registered by the comm/perf layer; cheap no-op when absent.
 class CommHooks {
@@ -96,6 +111,12 @@ public:
     static void clearResilienceHook();
     static void notifyResilience(const ResilienceEvent& e);
     static bool resilienceActive();
+
+    // Multigrid solve counters (one event per completed solve).
+    static void setMgHook(MgHook h);
+    static void clearMgHook();
+    static void notifyMg(const MgEvent& e);
+    static bool mgActive();
 };
 
 } // namespace exa

@@ -2,11 +2,24 @@
 
 #include "core/timer.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace exa {
 
 namespace {
+
+// Non-negative integer from the environment; `fallback` when unset or
+// unparsable.
+std::size_t envSize(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v) return fallback;
+    return static_cast<std::size_t>(n);
+}
 
 std::uint64_t mix64(std::uint64_t x) {
     // splitmix64 finalizer.
@@ -35,6 +48,10 @@ std::size_t CopierKeyHash::operator()(const CopierKey& k) const {
     h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.period.z)));
     return static_cast<std::size_t>(h);
 }
+
+CopierCache::CopierCache()
+    : m_capacity(envSize("EXA_COPIER_CACHE_CAPACITY", 128)),
+      m_per_tenant(envSize("EXA_COPIER_CACHE_PER_TENANT", 32)) {}
 
 CopierCache& CopierCache::instance() {
     static CopierCache cache;
@@ -198,15 +215,11 @@ CopierCache::PlanPtr CopierCache::getOrBuild(const CopierKey& key, bool cacheabl
     {
         std::lock_guard<std::mutex> lk(m_mutex);
         m_build_seconds += dt;
-        if (m_enabled && cacheable && m_capacity > 0) {
+        if (m_enabled && cacheable && effectiveCapacityLocked() > 0) {
             if (m_map.find(key) == m_map.end()) {
                 m_lru.push_front({key, plan});
                 m_map[key] = m_lru.begin();
-                while (m_map.size() > m_capacity) {
-                    m_map.erase(m_lru.back().key);
-                    m_lru.pop_back();
-                    ++m_evictions;
-                }
+                evictToCapacityLocked();
             }
         }
     }
@@ -286,19 +299,54 @@ void CopierCache::clear() {
     m_partitions.clear();
 }
 
+std::size_t CopierCache::effectiveCapacityLocked() const {
+    if (m_capacity == 0) return 0; // explicit off switch
+    if (m_tenants > 0 && m_per_tenant > 0) {
+        return std::max(m_capacity,
+                        static_cast<std::size_t>(m_tenants) * m_per_tenant);
+    }
+    return m_capacity;
+}
+
+void CopierCache::evictToCapacityLocked() {
+    const std::size_t cap = effectiveCapacityLocked();
+    while (m_map.size() > cap) {
+        m_map.erase(m_lru.back().key);
+        m_lru.pop_back();
+        ++m_evictions;
+    }
+}
+
 std::size_t CopierCache::capacity() const {
     std::lock_guard<std::mutex> lk(m_mutex);
+    return effectiveCapacityLocked();
+}
+
+std::size_t CopierCache::baseCapacity() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
     return m_capacity;
+}
+
+std::size_t CopierCache::perTenantCapacity() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_per_tenant;
 }
 
 void CopierCache::setCapacity(std::size_t n) {
     std::lock_guard<std::mutex> lk(m_mutex);
     m_capacity = n;
-    while (m_map.size() > m_capacity) {
-        m_map.erase(m_lru.back().key);
-        m_lru.pop_back();
-        ++m_evictions;
-    }
+    evictToCapacityLocked();
+}
+
+void CopierCache::noteLiveTenants(int n) {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    m_tenants = std::max(0, n);
+    evictToCapacityLocked();
+}
+
+int CopierCache::liveTenants() const {
+    std::lock_guard<std::mutex> lk(m_mutex);
+    return m_tenants;
 }
 
 void CopierCache::setEnabled(bool enabled) {

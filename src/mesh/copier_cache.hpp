@@ -136,8 +136,21 @@ public:
     void resetStats();
     void clear(); // drop every plan (stats survive)
 
+    // Effective LRU capacity: max(base, live_tenants * per_tenant) — the
+    // cache is process-wide, so N co-resident ensemble tenants with
+    // distinct grids each need their own slice of plan slots or they
+    // evict each other every step. base == 0 disables caching outright
+    // (the explicit off switch) regardless of tenants. Defaults are
+    // overridable via EXA_COPIER_CACHE_CAPACITY (base) and
+    // EXA_COPIER_CACHE_PER_TENANT, read once at process start.
     std::size_t capacity() const;
+    std::size_t baseCapacity() const;
+    std::size_t perTenantCapacity() const;
     void setCapacity(std::size_t n);
+    // EnsembleRunner reports its live tenant count here as tenants are
+    // initialized and retired; shrinking evicts down to the new size.
+    void noteLiveTenants(int n);
+    int liveTenants() const;
 
     // Memoization toggle: when disabled every call rebuilds its plan (the
     // same plan-based execution path, just never cached) — used by tests
@@ -146,9 +159,11 @@ public:
     bool enabled() const;
 
 private:
-    CopierCache() = default;
+    CopierCache(); // reads the EXA_COPIER_CACHE_* environment overrides
     PlanPtr getOrBuild(const CopierKey& key, bool cacheable,
                        const std::function<PlanPtr()>& build);
+    std::size_t effectiveCapacityLocked() const;
+    void evictToCapacityLocked();
 
     struct Entry {
         CopierKey key;
@@ -175,6 +190,8 @@ private:
     std::uint64_t m_partition_hits = 0, m_partition_misses = 0;
     double m_build_seconds = 0.0;
     std::size_t m_capacity = 128;
+    std::size_t m_per_tenant = 32;
+    int m_tenants = 0;
     bool m_enabled = true;
 };
 

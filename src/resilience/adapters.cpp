@@ -20,6 +20,7 @@ SupervisedDriver makeSupervisedDriver(castro::Castro& c) {
     };
     d.postRestore = [&c] { c.gravity().resetPoissonWarmStart(); };
     d.retryStats = [&c] { return &c.retryStats(); };
+    d.mgStats = [&c] { return c.gravity().mgTotals(); };
     return d;
 }
 
@@ -71,6 +72,7 @@ SupervisedDriver makeSupervisedDriver(castro::CastroAmr& a) {
                  dmBuilder) { a.remakeForRestore(boxes, dmBuilder); };
     d.postRestore = [&a] { a.finishRestore(); };
     d.retryStats = [&a] { return &a.retryStats(); };
+    d.mgStats = [&a] { return a.mgTotals(); };
     return d;
 }
 

@@ -110,7 +110,18 @@ void ResilienceSupervisor::syncCheckpointStats() {
 std::string ResilienceSupervisor::summary() const {
     const RetryStats* retry =
         m_driver.retryStats ? m_driver.retryStats() : nullptr;
-    return m_report.summary(retry);
+    std::string s = m_report.summary(retry);
+    if (m_driver.mgStats) {
+        const MgEvent e = m_driver.mgStats();
+        if (e.vcycles > 0 || e.fmg_cycles > 0) {
+            std::ostringstream os;
+            os << "\nmg: fmg=" << e.fmg_cycles << " vcycles=" << e.vcycles
+               << " sweeps=" << e.sweeps << " agg-copies=" << e.agg_copies
+               << " (" << e.agg_bytes << " bytes)";
+            s += os.str();
+        }
+    }
+    return s;
 }
 
 void ResilienceSupervisor::maybeCheckpoint() {

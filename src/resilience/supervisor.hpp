@@ -21,6 +21,7 @@
 // supervisor falls back to a full rollback from the *other* slot; if that
 // also fails, or no rank survives, the run is unrecoverable and throws.
 
+#include "mesh/comm_hooks.hpp"
 #include "mesh/distribution.hpp"
 #include "mesh/step_guard.hpp"
 #include "resilience/checkpointer.hpp"
@@ -57,6 +58,9 @@ struct SupervisedDriver {
     std::function<void()> postRestore;
     // Optional: the driver's StepGuard retry stats, for the report.
     std::function<const RetryStats*()> retryStats;
+    // Optional: the driver's lifetime multigrid counters (composite
+    // gravity solves), for the report.
+    std::function<MgEvent()> mgStats;
 };
 
 struct SupervisorOptions {

@@ -2,7 +2,9 @@
 
 #include "core/executor.hpp"
 #include "core/parallel_for.hpp"
+#include "mesh/comm_hooks.hpp"
 #include "mesh/copier_cache.hpp"
+#include "solvers/mg/mg_boundary.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -53,49 +55,7 @@ void Multigrid::fillGhosts(MultiFab& phi, int lev) {
 }
 
 void Multigrid::applyDomainBC(MultiFab& phi, int lev) {
-    const Geometry& g = m_geom[lev];
-    if (m_bc == MgBC::Periodic) return;
-
-    // Physical BC in the face-normal ghost zones outside the domain:
-    // Dirichlet: phi_g = -phi_i (value 0 on the face between them);
-    // Neumann:   phi_g = +phi_i.
-    const Real sgn = (m_bc == MgBC::Dirichlet) ? -1.0 : 1.0;
-    const Box& dom = g.domain();
-    for (std::size_t i = 0; i < phi.size(); ++i) {
-        auto a = phi.array(static_cast<int>(i));
-        const Box& vb = phi.box(static_cast<int>(i));
-        for (int d = 0; d < 3; ++d) {
-            if (g.isPeriodic(d)) continue; // FillBoundary already wrapped
-            const IntVect e = IntVect::basis(d);
-            if (vb.smallEnd(d) == dom.smallEnd(d)) {
-                Box face = vb;
-                face = Box(
-                    {d == 0 ? vb.smallEnd(0) - 1 : vb.smallEnd(0),
-                     d == 1 ? vb.smallEnd(1) - 1 : vb.smallEnd(1),
-                     d == 2 ? vb.smallEnd(2) - 1 : vb.smallEnd(2)},
-                    {d == 0 ? vb.smallEnd(0) - 1 : vb.bigEnd(0),
-                     d == 1 ? vb.smallEnd(1) - 1 : vb.bigEnd(1),
-                     d == 2 ? vb.smallEnd(2) - 1 : vb.bigEnd(2)});
-                ParallelFor(KernelInfo::streaming("mg_bc_fill", 16.0), face,
-                            [=](int ii, int j, int k) {
-                    a(ii, j, k) = sgn * a(ii + e.x, j + e.y, k + e.z);
-                });
-            }
-            if (vb.bigEnd(d) == dom.bigEnd(d)) {
-                Box face(
-                    {d == 0 ? vb.bigEnd(0) + 1 : vb.smallEnd(0),
-                     d == 1 ? vb.bigEnd(1) + 1 : vb.smallEnd(1),
-                     d == 2 ? vb.bigEnd(2) + 1 : vb.smallEnd(2)},
-                    {d == 0 ? vb.bigEnd(0) + 1 : vb.bigEnd(0),
-                     d == 1 ? vb.bigEnd(1) + 1 : vb.bigEnd(1),
-                     d == 2 ? vb.bigEnd(2) + 1 : vb.bigEnd(2)});
-                ParallelFor(KernelInfo::streaming("mg_bc_fill", 16.0), face,
-                            [=](int ii, int j, int k) {
-                    a(ii, j, k) = sgn * a(ii - e.x, j - e.y, k - e.z);
-                });
-            }
-        }
-    }
+    mgApplyDomainBC(phi, m_geom[lev], m_bc);
 }
 
 void Multigrid::smooth(MultiFab& phi, const MultiFab& rhs, int lev, int sweeps) {
@@ -238,6 +198,7 @@ void Multigrid::removeMean(MultiFab& mf) const {
 MgResult Multigrid::solve(MultiFab& phi, const MultiFab& rhs) {
     assert(phi.nGrow() >= 1);
     MgResult result;
+    const std::int64_t sweeps_before = m_sweeps;
 
     // Move the user's data onto the solver's level-0 layout.
     m_phi[0].ParallelCopy(phi, 0, 0, 1, 0, m_geom[0].periodicity());
@@ -263,6 +224,12 @@ MgResult Multigrid::solve(MultiFab& phi, const MultiFab& rhs) {
     result.converged = res <= target;
 
     phi.ParallelCopy(m_phi[0], 0, 0, 1, 0, m_geom[0].periodicity());
+    if (CommHooks::mgActive()) {
+        MgEvent e;
+        e.vcycles = result.vcycles;
+        e.sweeps = m_sweeps - sweeps_before;
+        CommHooks::notifyMg(e);
+    }
     return result;
 }
 
